@@ -1,0 +1,48 @@
+"""Ablation — negative sampling ratio for the answer task.
+
+The paper balances positives and negatives 1:1 per fold (Sec. IV-A).
+This bench sweeps the ratio to show the choice is not load-bearing for
+AUC (which is threshold-free) while confirming the balanced default.
+"""
+
+import numpy as np
+
+from repro.core import build_pair_dataset
+from repro.core.answer_model import AnswerModel
+from repro.core.evaluation import _fold_iterator
+from repro.ml.metrics import auc_score
+
+from conftest import N_FOLDS
+
+RATIOS = (0.5, 1.0, 2.0)
+
+
+def test_ablation_negative_ratio(benchmark, dataset, config, extractor):
+    def run():
+        out = {}
+        for ratio in RATIOS:
+            pairs = build_pair_dataset(
+                dataset, extractor, negative_ratio=ratio, seed=config.seed
+            )
+            scores = []
+            for train, test in _fold_iterator(pairs, N_FOLDS, 1, config.seed):
+                model = AnswerModel(l2=config.answer_l2).fit(
+                    pairs.x[train], pairs.is_event[train]
+                )
+                scores.append(
+                    auc_score(
+                        pairs.is_event[test],
+                        model.predict_proba(pairs.x[test]),
+                    )
+                )
+            out[ratio] = float(np.mean(scores))
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nNegative-sampling ratio ablation (answer-task AUC)")
+    for ratio, auc in results.items():
+        print(f"  {ratio:4.1f} negatives per positive: AUC {auc:.3f}")
+    # AUC must be strong and stable across ratios.
+    for auc in results.values():
+        assert auc > 0.75
+    assert max(results.values()) - min(results.values()) < 0.08

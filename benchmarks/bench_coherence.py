@@ -1,0 +1,40 @@
+"""Extension — topic-coherence view of the Fig. 5 K sweep.
+
+Fig. 5 varies the number of topics K and looks at downstream prediction
+metrics; UMass coherence gives an intrinsic view of the same choice.
+The generator plants 8 topics, so coherence per topic should stop
+improving once K reaches the planted count.
+"""
+
+import numpy as np
+
+from repro.topics.coherence import mean_coherence
+from repro.topics.lda import LdaVariational
+from repro.topics.tokenizer import split_text_and_code, tokenize
+from repro.topics.vocabulary import Vocabulary
+
+TOPIC_COUNTS = (2, 4, 8, 12)
+
+
+def test_coherence_across_topic_counts(benchmark, dataset):
+    def run():
+        docs = [
+            tokenize(split_text_and_code(t.question.body).words)
+            for t in dataset.threads[:400]
+        ]
+        vocab = Vocabulary(min_count=2).fit(docs)
+        encoded = [vocab.encode(d) for d in docs]
+        scores = {}
+        for k in TOPIC_COUNTS:
+            model = LdaVariational(k, len(vocab), seed=0).fit(encoded)
+            scores[k] = mean_coherence(encoded, model.topic_word_, top_n=8)
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nUMass coherence by topic count (higher = more coherent)")
+    for k, score in scores.items():
+        print(f"  K={k:3d}: {score:8.3f}")
+    # All fitted models must beat a hopeless fragmentation: coherence at
+    # the planted K=8 should not be far below the best.
+    best = max(scores.values())
+    assert scores[8] > best - abs(best) * 0.5

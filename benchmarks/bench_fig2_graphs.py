@@ -1,0 +1,45 @@
+"""Fig. 2 — the two SLN graph models.
+
+Paper observations (14k users): average degree 2.6 in G_QA rising to
+3.7 in the denser graph G_D; both graphs disconnected with high degree
+variance.
+"""
+
+import numpy as np
+
+from repro.forum.stats import summarize_graphs
+from repro.graphs import build_dense_graph, build_qa_graph
+
+
+def test_fig2_graph_models(benchmark, dataset):
+    summaries = benchmark.pedantic(
+        summarize_graphs, args=(dataset,), rounds=1, iterations=1
+    )
+    qa, dense = summaries["qa"], summaries["dense"]
+    print("\nFig. 2 reproduction (SLN graph models)")
+    print(f"{'graph':8s} {'nodes':>7s} {'edges':>7s} {'avg deg':>8s} {'comps':>6s} {'giant %':>8s}")
+    for name, s in (("G_QA", qa), ("G_D", dense)):
+        print(
+            f"{name:8s} {s.n_nodes:7d} {s.n_edges:7d} {s.average_degree:8.2f} "
+            f"{s.n_components:6d} {100 * s.largest_component_fraction:7.1f}%"
+        )
+    # Shape: the dense graph is denser, node sets match.
+    assert dense.average_degree > qa.average_degree
+    assert dense.n_nodes == qa.n_nodes
+
+
+def test_fig2_degree_variance(benchmark, dataset):
+    """High degree variance motivates the centrality features."""
+
+    def degree_stats():
+        graph = build_qa_graph(dataset.participant_tuples())
+        degrees = np.array([graph.degree(v) for v in graph.nodes()])
+        return degrees
+
+    degrees = benchmark.pedantic(degree_stats, rounds=1, iterations=1)
+    print(
+        f"\ndegrees: mean {degrees.mean():.2f}, std {degrees.std():.2f}, "
+        f"max {degrees.max()}"
+    )
+    # High variance in the degree distribution, as in Fig. 2's rings.
+    assert degrees.std() > 0.5 * degrees.mean()

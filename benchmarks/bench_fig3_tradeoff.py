@@ -1,0 +1,47 @@
+"""Fig. 3 — net votes vs. response time.
+
+The paper's surprising observation: response quality (v_uq) and timing
+(r_uq) are *uncorrelated*, so the two recommendation objectives are not
+actually competing.
+"""
+
+import numpy as np
+
+from repro.forum.stats import vote_time_correlation
+
+
+def test_fig3_no_tradeoff(benchmark, dataset):
+    corr = benchmark.pedantic(
+        vote_time_correlation, args=(dataset,), rounds=1, iterations=1
+    )
+    print("\nFig. 3 reproduction (votes vs. response time)")
+    print(
+        f"pairs: {int(corr['n_pairs'])}, pearson: {corr['pearson']:+.4f}, "
+        f"spearman: {corr['spearman']:+.4f}"
+    )
+    # Shape: |correlation| near zero — no quality/timing tradeoff.
+    assert abs(corr["pearson"]) < 0.15
+    assert abs(corr["spearman"]) < 0.15
+
+
+def test_fig3_scatter_summary(benchmark, dataset):
+    """The binned scatter the figure plots: median votes per delay decile."""
+
+    def binned():
+        records = dataset.answer_records()
+        times = np.array([r.response_time for r in records])
+        votes = np.array([r.votes for r in records], dtype=float)
+        deciles = np.quantile(times, np.linspace(0, 1, 11))
+        rows = []
+        for i in range(10):
+            mask = (times >= deciles[i]) & (times <= deciles[i + 1])
+            rows.append((deciles[i], deciles[i + 1], float(np.median(votes[mask]))))
+        return rows
+
+    rows = benchmark.pedantic(binned, rounds=1, iterations=1)
+    print("\ndelay decile -> median votes")
+    for lo, hi, med in rows:
+        print(f"  [{lo:7.2f}h, {hi:7.2f}h] -> {med:+.1f}")
+    medians = [m for _, _, m in rows]
+    # No monotone drift of votes with delay.
+    assert max(medians) - min(medians) <= 2.0

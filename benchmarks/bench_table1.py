@@ -1,0 +1,45 @@
+"""Table I — model vs. baseline on all three prediction tasks.
+
+Paper values (Stack Overflow, 20k threads):
+
+    a_uq  AUC   0.699 -> 0.860   (+23.0 %)
+    v_uq  RMSE  1.554 -> 1.213   (+21.9 %)
+    r_uq  RMSE  34.25 -> 26.35   (+22.8 %)
+
+The reproduction asserts the *shape*: the feature-based model beats
+every baseline on every task.
+"""
+
+from repro.core import run_table1
+
+from conftest import N_FOLDS, N_REPEATS
+
+
+def print_table(result):
+    print("\nTable I reproduction")
+    print(f"{'task':6s} {'metric':6s} {'baseline':>10s} {'model':>10s} {'improve':>9s}")
+    for task, metric, base, model, imp in result.as_rows():
+        print(f"{task:6s} {metric:6s} {base:10.3f} {model:10.3f} {imp:8.1f}%")
+
+
+def test_table1(benchmark, dataset, config, extractor, pairs):
+    result = benchmark.pedantic(
+        run_table1,
+        kwargs=dict(
+            dataset=dataset,
+            config=config,
+            n_folds=N_FOLDS,
+            n_repeats=N_REPEATS,
+            extractor=extractor,
+            pairs=pairs,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(result)
+    # Shape assertions: the model must win every task.
+    assert result.answer.model.mean > result.answer.baseline.mean
+    assert result.votes.model.mean < result.votes.baseline.mean
+    assert result.timing.model.mean < result.timing.baseline.mean
+    # The answer task shows the paper's large AUC gap.
+    assert result.answer.improvement_percent > 20.0

@@ -1,0 +1,39 @@
+"""Extension — the quality/timing frontier of the Sec.-V lambda knob.
+
+Sweeps the router's lambda over the final day's questions and traces
+the achievable (predicted votes, predicted latency) frontier.  The
+paper frames quality and timing as possibly competing objectives; the
+frontier shows exactly what moving the knob buys.
+"""
+
+from repro.core import ForumPredictor, QuestionRouter, sweep_tradeoff
+
+
+def test_tradeoff_frontier(benchmark, dataset, config):
+    split = dataset.duration_hours - 48.0
+    history = dataset.threads_in_window(0.0, split)
+    final = dataset.threads_in_window(split, dataset.duration_hours + 1)
+    predictor = ForumPredictor(config).fit(history)
+    router = QuestionRouter(predictor, epsilon=0.25, default_capacity=5.0)
+    candidates = sorted(history.answerers)
+
+    frontier = benchmark.pedantic(
+        sweep_tradeoff,
+        args=(router, final.threads[:30], candidates),
+        kwargs=dict(tradeoffs=(0.0, 0.2, 1.0, 5.0)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nQuality/timing frontier (mean predicted outcome of routed user)")
+    print(f"{'lambda':>8s} {'votes':>8s} {'hours':>8s} {'routed':>7s}")
+    for lam, votes, hours, n in frontier.as_rows():
+        print(f"{lam:8.1f} {votes:8.3f} {hours:8.3f} {n:7d}")
+    pareto = frontier.pareto
+    print(f"pareto-efficient settings: {[p.tradeoff for p in pareto]}")
+    points = frontier.points
+    # Raising lambda must not slow the routed answers down...
+    assert (
+        points[-1].mean_response_time <= points[0].mean_response_time + 1e-9
+    )
+    # ...and the extreme settings must be Pareto-efficient.
+    assert points[0] in pareto or points[-1] in pareto

@@ -1,0 +1,60 @@
+"""Shared fixtures for the benchmark suite.
+
+All benchmarks run on one seeded synthetic forum, scaled so the full
+suite completes in minutes rather than hours.  ``BENCH_SCALE=full`` in
+the environment switches to the paper-scale dataset (~12k questions
+after preprocessing requires the larger generator config below).
+"""
+
+import os
+
+import pytest
+
+from repro.core import PredictorConfig, build_extractor, build_pair_dataset
+from repro.forum import ForumConfig, generate_forum
+
+FULL = os.environ.get("BENCH_SCALE", "").lower() == "full"
+
+FORUM_CONFIG = (
+    ForumConfig(n_users=9000, n_questions=20000, activity_tail=1.4)
+    if FULL
+    else ForumConfig(n_users=700, n_questions=900, activity_tail=1.4)
+)
+
+# Exact Brandes betweenness is O(V*E) — prohibitive on the paper-scale
+# graph (~10k nodes), so the full-scale run uses the Brandes-Pich
+# source-sampling approximation.
+PREDICTOR_CONFIG = PredictorConfig(
+    betweenness_sample_size=1000 if FULL else 200,
+)
+
+N_FOLDS = 5
+N_REPEATS = 1
+
+
+@pytest.fixture(scope="session")
+def forum():
+    return generate_forum(FORUM_CONFIG, seed=0)
+
+
+@pytest.fixture(scope="session")
+def dataset(forum):
+    clean, report = forum.dataset.preprocess()
+    return clean
+
+
+@pytest.fixture(scope="session")
+def config():
+    return PREDICTOR_CONFIG
+
+
+@pytest.fixture(scope="session")
+def extractor(dataset, config):
+    return build_extractor(dataset, config)
+
+
+@pytest.fixture(scope="session")
+def pairs(dataset, extractor, config):
+    return build_pair_dataset(
+        dataset, extractor, negative_ratio=config.negative_ratio, seed=config.seed
+    )

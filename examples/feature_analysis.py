@@ -1,0 +1,72 @@
+"""Descriptive analytics and feature inspection (paper Sec. III, Fig. 4).
+
+Prints the dataset summary, SLN graph statistics, the votes-vs-timing
+correlation, and the answer-model coefficients per feature — a compact
+text version of the paper's exploratory figures.
+
+Run with:  python examples/feature_analysis.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    AnswerModel,
+    PredictorConfig,
+    build_extractor,
+    build_pair_dataset,
+)
+from repro.forum import ForumConfig, generate_forum
+from repro.forum.stats import (
+    median_response_time_by_activity,
+    summarize_dataset,
+    summarize_graphs,
+    vote_time_correlation,
+)
+
+
+def main() -> None:
+    forum = generate_forum(
+        ForumConfig(n_users=500, n_questions=650, activity_tail=1.4), seed=2
+    )
+    dataset, _ = forum.dataset.preprocess()
+
+    summary = summarize_dataset(dataset)
+    print("dataset summary (paper Sec. III-A)")
+    print(f"  questions: {summary.n_questions}")
+    print(f"  answers:   {summary.n_answers}")
+    print(f"  users:     {summary.n_users} ({summary.n_answerers} answerers)")
+    print(f"  answer-matrix density: {100 * summary.answer_matrix_density:.3f}%")
+
+    print("\nSLN graphs (paper Fig. 2)")
+    for name, g in summarize_graphs(dataset).items():
+        print(
+            f"  {name:5s}: {g.n_nodes} nodes, {g.n_edges} edges, "
+            f"avg degree {g.average_degree:.2f}, {g.n_components} components"
+        )
+
+    corr = vote_time_correlation(dataset)
+    print("\nvotes vs response time (paper Fig. 3)")
+    print(f"  pearson {corr['pearson']:+.4f}, spearman {corr['spearman']:+.4f}")
+
+    print("\nmedian response time by activity (paper Fig. 4b)")
+    for threshold, values in median_response_time_by_activity(dataset).items():
+        if len(values):
+            print(
+                f"  a_u >= {threshold}: median of medians "
+                f"{np.median(values):6.2f} h over {len(values)} users"
+            )
+
+    # Feature weights of the (linear) answer model, per standardized column.
+    config = PredictorConfig(betweenness_sample_size=150)
+    extractor = build_extractor(dataset, config)
+    pairs = build_pair_dataset(dataset, extractor, seed=0)
+    model = AnswerModel().fit(pairs.x, pairs.is_event)
+    names = extractor.spec.column_names()
+    order = np.argsort(-np.abs(model.coefficients))
+    print("\ntop-10 answer-model coefficients (standardized features)")
+    for j in order[:10]:
+        print(f"  {names[j]:36s} {model.coefficients[j]:+.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Question routing (paper Sec. V): recommend answerers for new questions.
+
+Trains the predictors on the first 29 days of the forum, then replays
+the final day's new questions through the recommendation LP, comparing
+the router's picks against random eligible routing on predicted quality
+and latency.
+
+Run with:  python examples/question_routing.py
+"""
+
+import numpy as np
+
+from repro.core import ForumPredictor, PredictorConfig, QuestionRouter
+from repro.forum import ForumConfig, generate_forum
+
+
+def main() -> None:
+    forum = generate_forum(
+        ForumConfig(n_users=600, n_questions=800, activity_tail=1.4), seed=1
+    )
+    dataset, _ = forum.dataset.preprocess()
+    split = dataset.duration_hours - 24.0
+    history = dataset.threads_in_window(0.0, split)
+    final_day = dataset.threads_in_window(split, dataset.duration_hours + 1)
+    print(
+        f"history: {len(history)} questions | final day: {len(final_day)} questions"
+    )
+
+    config = PredictorConfig(
+        vote_epochs=120, timing_epochs=120, betweenness_sample_size=150
+    )
+    predictor = ForumPredictor(config).fit(history)
+    router = QuestionRouter(predictor, epsilon=0.3, default_capacity=3.0)
+    candidates = sorted(history.answerers)
+    load = router.recent_load(history, split)
+    rng = np.random.default_rng(0)
+
+    routed, random_scores, routed_scores = 0, [], []
+    print(f"\n{'question':>9s} {'routed user':>12s} {'p':>6s} {'v_hat':>7s} {'r_hat':>7s}")
+    for thread in final_day.threads[:25]:
+        result = router.recommend(
+            thread, candidates, tradeoff=0.2, recent_load=load
+        )
+        if result is None:
+            continue
+        routed += 1
+        user, prob = result.ranked_users()[0]
+        idx = int(np.flatnonzero(result.users == user)[0])
+        print(
+            f"{thread.thread_id:9d} {user:12d} {prob:6.2f} "
+            f"{result.predictions['votes'][idx]:7.2f} "
+            f"{result.predictions['response_time'][idx]:7.2f}"
+        )
+        routed_scores.append(result.scores[idx])
+        random_scores.append(float(rng.choice(result.scores)))
+
+    print(f"\nrouted {routed} questions")
+    print(
+        f"mean objective (v_hat - lambda r_hat): routed {np.mean(routed_scores):.3f}"
+        f" vs random eligible {np.mean(random_scores):.3f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

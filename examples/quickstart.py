@@ -1,0 +1,52 @@
+"""Quickstart: generate a forum, train the predictors, make predictions.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import ForumPredictor, PredictorConfig
+from repro.forum import ForumConfig, generate_forum
+
+
+def main() -> None:
+    # 1. Generate a synthetic Stack Overflow-like forum (the offline
+    #    substitute for the paper's Stack Exchange API dump) and apply
+    #    the paper's Sec. III-A preprocessing.
+    forum = generate_forum(ForumConfig(n_users=400, n_questions=500), seed=0)
+    dataset, report = forum.dataset.preprocess()
+    print(
+        f"dataset: {len(dataset)} questions, {dataset.num_answers} answers, "
+        f"{len(dataset.users)} users"
+    )
+    print(
+        f"preprocessing removed {report.questions_dropped_unanswered} "
+        f"unanswered questions, {report.duplicate_answers_removed} duplicate "
+        f"answers, {report.zero_delay_answers_removed} zero-delay answers"
+    )
+
+    # 2. Train the three predictors (topics, graphs and the 20 features
+    #    are built internally).
+    config = PredictorConfig(
+        n_topics=8,
+        vote_epochs=120,
+        timing_epochs=120,
+        betweenness_sample_size=150,
+    )
+    predictor = ForumPredictor(config).fit(dataset)
+    print("trained answer, vote and timing models")
+
+    # 3. Predict all three quantities for candidate answerers of the
+    #    newest question.
+    thread = dataset.threads[-1]
+    candidates = sorted(dataset.answerers)[:8]
+    print(f"\npredictions for question {thread.thread_id}:")
+    print(f"{'user':>8s} {'P(answer)':>10s} {'votes':>7s} {'hours':>7s}")
+    for user in candidates:
+        pred = predictor.predict(user, thread)
+        print(
+            f"{user:8d} {pred.answer_probability:10.3f} "
+            f"{pred.votes:7.2f} {pred.response_time:7.2f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — reproduction of "Predicting the Timing and Quality of Responses
+in Online Discussion Forums" (Hansen et al., IEEE ICDCS 2019).
+
+Public API highlights:
+
+* :class:`repro.forum.ForumConfig` / :func:`repro.forum.generate_forum` —
+  the synthetic Stack Overflow dataset substitute;
+* :class:`repro.core.ForumPredictor` — end-to-end joint prediction of
+  whether, how well, and how fast a user answers a question;
+* :class:`repro.core.QuestionRouter` — the Sec.-V recommendation LP;
+* ``repro.core.run_table1`` and friends — the evaluation harness that
+  regenerates every table and figure of the paper.
+"""
+
+from . import baselines, core, forum, graphs, ml, pointprocess, topics
+from .core import (
+    ForumPredictor,
+    Prediction,
+    PredictorConfig,
+    QuestionRouter,
+    RoutingResult,
+)
+from .forum import ForumConfig, ForumDataset, generate_forum
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines",
+    "core",
+    "forum",
+    "graphs",
+    "ml",
+    "pointprocess",
+    "topics",
+    "ForumPredictor",
+    "Prediction",
+    "PredictorConfig",
+    "QuestionRouter",
+    "RoutingResult",
+    "ForumConfig",
+    "ForumDataset",
+    "generate_forum",
+    "__version__",
+]

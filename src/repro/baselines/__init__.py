@@ -1,0 +1,7 @@
+"""The paper's three baselines (Sec. IV-A)."""
+
+from .mf import MatrixFactorization
+from .poisson import PoissonRegression
+from .sparfa import Sparfa
+
+__all__ = ["MatrixFactorization", "PoissonRegression", "Sparfa"]

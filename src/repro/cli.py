@@ -1,0 +1,235 @@
+"""Command-line interface.
+
+Subcommands cover the library's end-to-end workflow:
+
+* ``generate``  — create a synthetic forum dataset and write it to disk;
+* ``stats``     — print the Sec.-III descriptive summary of a dataset;
+* ``train``     — fit the three predictors and save them;
+* ``evaluate``  — run the Table-I comparison on a dataset;
+* ``route``     — recommend answerers for a question with a saved model;
+* ``validate``  — check a dataset file for integrity violations.
+
+Usage: ``python -m repro <subcommand> ...`` (see ``--help`` per command).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import (
+    ForumPredictor,
+    PredictorConfig,
+    QuestionRouter,
+    run_table1,
+)
+from .core.persistence import load_predictor, save_predictor
+from .forum import ForumConfig, generate_forum, load_dataset, save_dataset
+from .forum.stats import summarize_dataset, summarize_graphs, vote_time_correlation
+from .forum.validation import validate_dataset
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Joint prediction of answer timing and quality in CQA forums "
+        "(reproduction of Hansen et al., ICDCS 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic forum dataset")
+    gen.add_argument("--output", type=Path, required=True, help="output .jsonl[.gz]")
+    gen.add_argument("--questions", type=int, default=3000)
+    gen.add_argument("--users", type=int, default=2000)
+    gen.add_argument("--topics", type=int, default=8)
+    gen.add_argument("--days", type=float, default=30.0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--raw",
+        action="store_true",
+        help="skip the paper's Sec. III-A preprocessing before saving",
+    )
+
+    stats = sub.add_parser("stats", help="summarize a dataset")
+    stats.add_argument("--input", type=Path, required=True)
+
+    train = sub.add_parser("train", help="train the three predictors")
+    train.add_argument("--input", type=Path, required=True)
+    train.add_argument("--model", type=Path, required=True, help="output .npz")
+    train.add_argument("--topics", type=int, default=8)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--betweenness-samples", type=int, default=None)
+
+    evaluate = sub.add_parser("evaluate", help="run the Table-I comparison")
+    evaluate.add_argument("--input", type=Path, required=True)
+    evaluate.add_argument("--folds", type=int, default=5)
+    evaluate.add_argument("--repeats", type=int, default=1)
+    evaluate.add_argument("--topics", type=int, default=8)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--betweenness-samples", type=int, default=None)
+
+    validate = sub.add_parser("validate", help="check dataset integrity")
+    validate.add_argument("--input", type=Path, required=True)
+    validate.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any violation is found",
+    )
+    validate.add_argument(
+        "--repair-to",
+        type=Path,
+        default=None,
+        help="write a repaired copy (invalid posts dropped) to this path",
+    )
+
+    route = sub.add_parser("route", help="recommend answerers for a question")
+    route.add_argument("--input", type=Path, required=True)
+    route.add_argument("--model", type=Path, required=True)
+    route.add_argument("--question-id", type=int, required=True)
+    route.add_argument("--epsilon", type=float, default=0.3)
+    route.add_argument("--tradeoff", type=float, default=0.1)
+    route.add_argument("--top", type=int, default=10)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    config = ForumConfig(
+        n_users=args.users,
+        n_questions=args.questions,
+        n_topics=args.topics,
+        duration_days=args.days,
+    )
+    forum = generate_forum(config, seed=args.seed)
+    dataset = forum.dataset
+    if not args.raw:
+        dataset, report = dataset.preprocess()
+        print(
+            f"preprocessed: dropped {report.questions_dropped_unanswered} "
+            f"unanswered, {report.duplicate_answers_removed} duplicates, "
+            f"{report.zero_delay_answers_removed} zero-delay answers"
+        )
+    save_dataset(dataset, args.output)
+    print(
+        f"wrote {len(dataset)} threads ({dataset.num_answers} answers) "
+        f"to {args.output}"
+    )
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    dataset = load_dataset(args.input)
+    summary = summarize_dataset(dataset)
+    print(f"questions:  {summary.n_questions}")
+    print(f"answers:    {summary.n_answers}")
+    print(f"askers:     {summary.n_askers}")
+    print(f"answerers:  {summary.n_answerers}")
+    print(f"users:      {summary.n_users}")
+    print(f"density:    {100 * summary.answer_matrix_density:.4f}%")
+    if dataset.num_answers >= 2:
+        corr = vote_time_correlation(dataset)
+        print(f"vote-time correlation: pearson {corr['pearson']:+.4f}")
+    for name, g in summarize_graphs(dataset).items():
+        print(
+            f"graph {name}: {g.n_nodes} nodes, {g.n_edges} edges, "
+            f"avg degree {g.average_degree:.2f}, {g.n_components} components"
+        )
+    return 0
+
+
+def _config_from_args(args) -> PredictorConfig:
+    return PredictorConfig(
+        n_topics=args.topics,
+        seed=args.seed,
+        betweenness_sample_size=args.betweenness_samples,
+    )
+
+
+def _cmd_train(args) -> int:
+    dataset = load_dataset(args.input)
+    predictor = ForumPredictor(_config_from_args(args)).fit(dataset)
+    save_predictor(predictor, args.model)
+    print(f"trained on {len(dataset)} threads; model saved to {args.model}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    dataset = load_dataset(args.input)
+    result = run_table1(
+        dataset,
+        config=_config_from_args(args),
+        n_folds=args.folds,
+        n_repeats=args.repeats,
+    )
+    print(f"{'task':6s} {'metric':6s} {'baseline':>10s} {'model':>10s} {'improve':>9s}")
+    for task, metric, base, model, imp in result.as_rows():
+        print(f"{task:6s} {metric:6s} {base:10.3f} {model:10.3f} {imp:8.1f}%")
+    return 0
+
+
+def _cmd_route(args) -> int:
+    dataset = load_dataset(args.input)
+    if args.question_id not in dataset:
+        print(f"error: question {args.question_id} not in dataset", file=sys.stderr)
+        return 1
+    predictor = load_predictor(args.model, dataset)
+    router = QuestionRouter(predictor, epsilon=args.epsilon)
+    thread = dataset.thread(args.question_id)
+    candidates = sorted(dataset.answerers - {thread.asker})
+    result = router.recommend(thread, candidates, tradeoff=args.tradeoff)
+    if result is None:
+        print("no eligible answerers for this question")
+        return 1
+    print(f"{'user':>8s} {'p':>6s} {'P(answer)':>10s} {'votes':>7s} {'hours':>7s}")
+    for user, prob in result.ranked_users()[: args.top]:
+        idx = int(result.users.tolist().index(user))
+        print(
+            f"{user:8d} {prob:6.2f} {result.predictions['answer'][idx]:10.3f} "
+            f"{result.predictions['votes'][idx]:7.2f} "
+            f"{result.predictions['response_time'][idx]:7.2f}"
+        )
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    dataset = load_dataset(args.input)
+    report = validate_dataset(dataset)
+    if report.ok:
+        print(f"{args.input}: OK ({len(dataset)} threads)")
+        return 0
+    for code, count in sorted(report.summary().items()):
+        print(f"{code}: {count}")
+    for issue in report.issues[:20]:
+        print(f"  thread {issue.thread_id}: [{issue.code}] {issue.detail}")
+    if len(report.issues) > 20:
+        print(f"  ... and {len(report.issues) - 20} more")
+    if args.repair_to is not None:
+        from .forum.repair import repair_dataset
+
+        repaired, repair_report = repair_dataset(dataset)
+        save_dataset(repaired, args.repair_to)
+        print(f"repaired copy written to {args.repair_to}: {repair_report}")
+        return 0
+    return 1 if args.strict else 0
+
+
+_COMMANDS = {
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "train": _cmd_train,
+    "evaluate": _cmd_evaluate,
+    "validate": _cmd_validate,
+    "route": _cmd_route,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

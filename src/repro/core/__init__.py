@@ -1,0 +1,87 @@
+"""The paper's primary contribution: features, predictors, evaluation, routing."""
+
+from .abtest import ABTestConfig, ABTestResult, ABTestSimulator, GroupOutcome
+from .answer_model import AnswerModel
+from .batch_routing import BatchAssignment, route_batch, route_batch_greedy
+from .coldstart import ColdStartBucket, cold_start_report
+from .explain import (
+    FeatureContribution,
+    PredictionExplanation,
+    explain_prediction,
+)
+from .evaluation import (
+    MetricSummary,
+    PairDataset,
+    Table1Result,
+    TaskResult,
+    build_extractor,
+    build_pair_dataset,
+    run_feature_importance,
+    run_group_importance_by_history,
+    run_table1,
+    run_topic_sweep,
+)
+from .features import FeatureExtractor, QuestionInfo
+from .featurespec import FEATURE_GROUPS, FEATURE_ORDER, FeatureSpec
+from .online import OnlineConfig, OnlineRecommendationLoop, OnlineReport
+from .persistence import load_predictor, save_predictor
+from .pipeline import ForumPredictor, Prediction, PredictorConfig
+from .routing import QuestionRouter, RoutingResult, solve_routing_lp
+from .timing_model import TimingModel
+from .tradeoff import (
+    FrontierPoint,
+    TradeoffFrontier,
+    pareto_front,
+    sweep_tradeoff,
+)
+from .topic_context import TopicModelContext
+from .vote_model import VoteModel
+
+__all__ = [
+    "ABTestConfig",
+    "ABTestResult",
+    "ABTestSimulator",
+    "GroupOutcome",
+    "load_predictor",
+    "save_predictor",
+    "OnlineConfig",
+    "OnlineRecommendationLoop",
+    "OnlineReport",
+    "AnswerModel",
+    "BatchAssignment",
+    "route_batch",
+    "route_batch_greedy",
+    "ColdStartBucket",
+    "cold_start_report",
+    "FeatureContribution",
+    "PredictionExplanation",
+    "explain_prediction",
+    "MetricSummary",
+    "PairDataset",
+    "Table1Result",
+    "TaskResult",
+    "build_extractor",
+    "build_pair_dataset",
+    "run_feature_importance",
+    "run_group_importance_by_history",
+    "run_table1",
+    "run_topic_sweep",
+    "FeatureExtractor",
+    "QuestionInfo",
+    "FEATURE_GROUPS",
+    "FEATURE_ORDER",
+    "FeatureSpec",
+    "ForumPredictor",
+    "Prediction",
+    "PredictorConfig",
+    "QuestionRouter",
+    "RoutingResult",
+    "solve_routing_lp",
+    "TimingModel",
+    "FrontierPoint",
+    "TradeoffFrontier",
+    "pareto_front",
+    "sweep_tradeoff",
+    "TopicModelContext",
+    "VoteModel",
+]

@@ -1,0 +1,188 @@
+"""A/B-testing simulator for the question recommendation system.
+
+The paper's stated future work (Sec. VI): deploy the recommender on a
+live forum and "compare the net votes and response times observed in a
+group with the system in use to one with it not".  The synthetic forum
+makes that experiment runnable offline, because its ground truth can
+answer counterfactual queries: *what would the routed user's answer
+have looked like?*
+
+Protocol:
+
+1. questions in the test window are split at random into treatment and
+   control groups;
+2. **control** keeps its organic outcome — the first answer actually
+   observed in the dataset;
+3. **treatment** routes the question through the Sec.-V LP; with
+   probability ``acceptance_rate`` the recommended user answers, with
+   votes and delay drawn from the *generator's own* outcome model for
+   that user (the counterfactual); otherwise the question falls back to
+   its organic outcome.
+
+The result compares mean/median net votes and response times between
+groups, which is exactly the measurement the paper proposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..forum.dataset import ForumDataset
+from ..forum.generator import (
+    SyntheticForum,
+    draw_answer_delay,
+    draw_answer_votes,
+)
+from .routing import QuestionRouter
+
+__all__ = ["ABTestConfig", "GroupOutcome", "ABTestResult", "ABTestSimulator"]
+
+
+@dataclass(frozen=True)
+class ABTestConfig:
+    """Experiment knobs."""
+
+    treatment_fraction: float = 0.5
+    acceptance_rate: float = 0.8  # P(recommended user actually answers)
+    tradeoff: float = 0.2  # the router's lambda
+    seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 < self.treatment_fraction < 1.0:
+            raise ValueError("treatment_fraction must be in (0, 1)")
+        if not 0.0 <= self.acceptance_rate <= 1.0:
+            raise ValueError("acceptance_rate must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class GroupOutcome:
+    """Realized outcomes of one experiment arm."""
+
+    n_questions: int
+    mean_votes: float
+    mean_response_time: float
+    median_response_time: float
+
+    @classmethod
+    def from_outcomes(cls, outcomes: list[tuple[float, float]]) -> "GroupOutcome":
+        if not outcomes:
+            return cls(0, float("nan"), float("nan"), float("nan"))
+        votes = np.array([v for v, _ in outcomes])
+        times = np.array([t for _, t in outcomes])
+        return cls(
+            n_questions=len(outcomes),
+            mean_votes=float(votes.mean()),
+            mean_response_time=float(times.mean()),
+            median_response_time=float(np.median(times)),
+        )
+
+
+@dataclass(frozen=True)
+class ABTestResult:
+    """Treatment vs. control comparison."""
+
+    treatment: GroupOutcome
+    control: GroupOutcome
+    n_routed: int  # treatment questions where the router produced a pick
+    n_accepted: int  # ... where the recommended user answered
+
+    @property
+    def vote_lift(self) -> float:
+        """Treatment minus control mean votes."""
+        return self.treatment.mean_votes - self.control.mean_votes
+
+    @property
+    def response_time_reduction(self) -> float:
+        """Control minus treatment mean response time (positive = faster)."""
+        return (
+            self.control.mean_response_time - self.treatment.mean_response_time
+        )
+
+
+class ABTestSimulator:
+    """Runs the paper's proposed A/B test on the synthetic forum."""
+
+    def __init__(
+        self,
+        forum: SyntheticForum,
+        router: QuestionRouter,
+        candidates: list[int],
+        config: ABTestConfig | None = None,
+    ):
+        if not candidates:
+            raise ValueError("need a non-empty candidate pool")
+        self.forum = forum
+        self.router = router
+        self.candidates = candidates
+        self.config = config or ABTestConfig()
+
+    def _organic_outcome(self, thread) -> tuple[float, float] | None:
+        """(votes, response time) of the organically first answer."""
+        if not thread.answers:
+            return None
+        first = thread.answers[0]
+        return float(first.votes), float(first.timestamp - thread.created_at)
+
+    def _counterfactual_outcome(
+        self, user: int, thread, rng: np.random.Generator
+    ) -> tuple[float, float]:
+        """Outcome had ``user`` answered, per the generator's ground truth."""
+        mixture = self.forum.question_topics[thread.thread_id]
+        match = float(self.forum.user_interests[user] @ mixture)
+        votes = draw_answer_votes(
+            float(self.forum.user_expertise[user]),
+            match,
+            thread.question.votes,
+            rng,
+        )
+        delay = draw_answer_delay(
+            float(self.forum.user_median_delay[user]), match, rng
+        )
+        return float(votes), float(delay)
+
+    def run(
+        self,
+        test_questions: ForumDataset,
+        *,
+        recent_load: dict[int, int] | None = None,
+    ) -> ABTestResult:
+        """Run the experiment over the given question set."""
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        treatment_outcomes: list[tuple[float, float]] = []
+        control_outcomes: list[tuple[float, float]] = []
+        n_routed = 0
+        n_accepted = 0
+        for thread in test_questions:
+            organic = self._organic_outcome(thread)
+            if organic is None:
+                continue  # unanswered organically; outside both measurements
+            if rng.uniform() >= cfg.treatment_fraction:
+                control_outcomes.append(organic)
+                continue
+            result = self.router.recommend(
+                thread,
+                self.candidates,
+                tradeoff=cfg.tradeoff,
+                recent_load=recent_load,
+            )
+            if result is None:
+                treatment_outcomes.append(organic)
+                continue
+            n_routed += 1
+            if rng.uniform() < cfg.acceptance_rate:
+                n_accepted += 1
+                user = result.draw(rng)
+                treatment_outcomes.append(
+                    self._counterfactual_outcome(user, thread, rng)
+                )
+            else:
+                treatment_outcomes.append(organic)
+        return ABTestResult(
+            treatment=GroupOutcome.from_outcomes(treatment_outcomes),
+            control=GroupOutcome.from_outcomes(control_outcomes),
+            n_routed=n_routed,
+            n_accepted=n_accepted,
+        )

@@ -1,0 +1,296 @@
+"""The paper's 20 user/question/user-question/social features (Sec. II-B).
+
+A :class:`FeatureExtractor` is built once over a *feature window* — the
+question set ``F(q)`` the paper computes features on — and then produces
+the vector ``x_uq`` for any (user, question) pair.
+
+Leakage guard: when the target thread itself lies inside the window,
+all user-side aggregates (answer counts, votes, response times, topic
+histories, thread co-occurrence) exclude that thread's contributions.
+Without this, the "answers provided" feature would directly encode the
+a_uq label being predicted.  The paper's ``F(q) = {q' <= q}`` is
+ambiguous on this point; excluding the target thread is the sound
+reading.  Graph centralities are computed once over the whole window
+(a single thread's edges have negligible effect on global centrality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..forum.dataset import ForumDataset
+from ..forum.models import Thread
+from ..graphs import (
+    UndirectedGraph,
+    betweenness_centrality,
+    build_dense_graph,
+    build_qa_graph,
+    closeness_centrality,
+    resource_allocation_index,
+)
+from ..topics.tokenizer import split_text_and_code
+from .featurespec import FeatureSpec
+from .topic_context import TopicModelContext
+
+__all__ = ["FeatureExtractor", "QuestionInfo"]
+
+
+@dataclass(frozen=True)
+class QuestionInfo:
+    """Per-question quantities: votes, lengths and topic distribution."""
+
+    votes: float
+    word_length: float
+    code_length: float
+    topics: np.ndarray
+
+
+@dataclass
+class _UserHistory:
+    """A user's answering history inside the feature window."""
+
+    answered_thread_ids: np.ndarray  # (n_i,)
+    answered_question_topics: np.ndarray  # (n_i, K)
+    answer_votes: np.ndarray  # (n_i,)
+    response_times: np.ndarray  # (n_i,)
+    answer_topic_vectors: np.ndarray  # (n_i, K) topics of the answers themselves
+
+
+class FeatureExtractor:
+    """Computes x_uq vectors over a fixed feature window."""
+
+    def __init__(
+        self,
+        window: ForumDataset,
+        topics: TopicModelContext,
+        *,
+        betweenness_sample_size: int | None = None,
+        seed: int = 0,
+    ):
+        self.window = window
+        self.topics = topics
+        self.spec = FeatureSpec(topics.n_topics)
+        self._uniform = np.full(topics.n_topics, 1.0 / topics.n_topics)
+        self._build_question_info()
+        self._build_user_histories()
+        self._build_discussion_topics()
+        self._build_graphs(betweenness_sample_size, seed)
+
+    # -- precomputation -------------------------------------------------------
+
+    def _build_question_info(self) -> None:
+        self._question_info: dict[int, QuestionInfo] = {}
+        for thread in self.window:
+            self._question_info[thread.thread_id] = self._info_from_thread(thread)
+
+    def _info_from_thread(self, thread: Thread) -> QuestionInfo:
+        split = split_text_and_code(thread.question.body)
+        return QuestionInfo(
+            votes=float(thread.question.votes),
+            word_length=float(split.word_length),
+            code_length=float(split.code_length),
+            topics=self.topics.post_topics(thread.question),
+        )
+
+    def _build_user_histories(self) -> None:
+        k = self.topics.n_topics
+        raw: dict[int, list[tuple[int, np.ndarray, float, float, np.ndarray]]] = {}
+        self._questions_asked: dict[int, int] = {}
+        all_response_times: list[float] = []
+        for thread in self.window:
+            q_topics = self._question_info[thread.thread_id].topics
+            self._questions_asked[thread.asker] = (
+                self._questions_asked.get(thread.asker, 0) + 1
+            )
+            for answer in thread.answers:
+                rt = answer.timestamp - thread.created_at
+                all_response_times.append(rt)
+                raw.setdefault(answer.author, []).append(
+                    (
+                        thread.thread_id,
+                        q_topics,
+                        float(answer.votes),
+                        rt,
+                        self.topics.post_topics(answer),
+                    )
+                )
+        self._histories: dict[int, _UserHistory] = {}
+        for user, items in raw.items():
+            self._histories[user] = _UserHistory(
+                answered_thread_ids=np.array([i[0] for i in items], dtype=int),
+                answered_question_topics=np.array([i[1] for i in items]).reshape(
+                    len(items), k
+                ),
+                answer_votes=np.array([i[2] for i in items]),
+                response_times=np.array([i[3] for i in items]),
+                answer_topic_vectors=np.array([i[4] for i in items]).reshape(
+                    len(items), k
+                ),
+            )
+        self._global_median_response = (
+            float(np.median(all_response_times)) if all_response_times else 1.0
+        )
+
+    def _build_discussion_topics(self) -> None:
+        """Per-user discussed-topic sums with per-thread exclusion support."""
+        k = self.topics.n_topics
+        self._discussed_sum: dict[int, np.ndarray] = {}
+        self._discussed_count: dict[int, int] = {}
+        self._discussed_by_thread: dict[int, dict[int, tuple[np.ndarray, int]]] = {}
+        for thread in self.window:
+            for post in thread.posts:
+                d = self.topics.post_topics(post)
+                u = post.author
+                self._discussed_sum[u] = self._discussed_sum.get(u, np.zeros(k)) + d
+                self._discussed_count[u] = self._discussed_count.get(u, 0) + 1
+                per_thread = self._discussed_by_thread.setdefault(u, {})
+                prev_sum, prev_count = per_thread.get(
+                    thread.thread_id, (np.zeros(k), 0)
+                )
+                per_thread[thread.thread_id] = (prev_sum + d, prev_count + 1)
+        self._thread_sets: dict[int, set[int]] = {}
+        for thread in self.window:
+            for u in [thread.asker, *thread.answerers]:
+                self._thread_sets.setdefault(u, set()).add(thread.thread_id)
+
+    def _build_graphs(
+        self, betweenness_sample_size: int | None, seed: int
+    ) -> None:
+        tuples = self.window.participant_tuples()
+        self.qa_graph: UndirectedGraph = build_qa_graph(tuples)
+        self.dense_graph: UndirectedGraph = build_dense_graph(tuples)
+        self._qa_closeness = closeness_centrality(self.qa_graph)
+        self._dense_closeness = closeness_centrality(self.dense_graph)
+        self._qa_betweenness = betweenness_centrality(
+            self.qa_graph, sample_sources=betweenness_sample_size, seed=seed
+        )
+        self._dense_betweenness = betweenness_centrality(
+            self.dense_graph, sample_sources=betweenness_sample_size, seed=seed
+        )
+
+    # -- per-feature computation ----------------------------------------------
+
+    def _question_info_for(self, thread: Thread) -> QuestionInfo:
+        info = self._question_info.get(thread.thread_id)
+        if info is None:
+            info = self._info_from_thread(thread)
+            self._question_info[thread.thread_id] = info
+        return info
+
+    def _history_view(self, user: int, exclude_thread: int):
+        """(mask, history) with the target thread's rows masked out."""
+        history = self._histories.get(user)
+        if history is None:
+            return None, None
+        mask = history.answered_thread_ids != exclude_thread
+        return mask, history
+
+    def _topics_discussed(self, user: int, exclude_thread: int) -> np.ndarray:
+        total = self._discussed_sum.get(user)
+        if total is None:
+            return self._uniform
+        count = self._discussed_count[user]
+        excl = self._discussed_by_thread.get(user, {}).get(exclude_thread)
+        if excl is not None:
+            total = total - excl[0]
+            count -= excl[1]
+        if count <= 0:
+            return self._uniform
+        return total / count
+
+    @staticmethod
+    def _tv_similarity(p: np.ndarray, q: np.ndarray) -> float:
+        return float(1.0 - 0.5 * np.abs(p - q).sum())
+
+    # -- public API ----------------------------------------------------------------
+
+    def features(self, user: int, thread: Thread) -> np.ndarray:
+        """The full x_uq vector for one (user, question) pair."""
+        k = self.topics.n_topics
+        tid = thread.thread_id
+        info = self._question_info_for(thread)
+        mask, history = self._history_view(user, tid)
+
+        # User features (i)-(v), excluding the target thread.
+        if history is not None and mask.any():
+            n_answers = float(mask.sum())
+            votes_sum = float(history.answer_votes[mask].sum())
+            median_rt = float(np.median(history.response_times[mask]))
+            d_u = history.answer_topic_vectors[mask].mean(axis=0)
+        else:
+            n_answers = 0.0
+            votes_sum = 0.0
+            median_rt = self._global_median_response
+            d_u = self._uniform
+        asked = self._questions_asked.get(user, 0)
+        answer_ratio = n_answers / (1.0 + asked)
+
+        # Question features (vi)-(ix).
+        d_q = info.topics
+
+        # User-question features (x)-(xii).
+        s_uq = self._tv_similarity(d_u, d_q)
+        if history is not None and mask.any():
+            sims = 1.0 - 0.5 * np.abs(
+                history.answered_question_topics[mask] - d_q[None, :]
+            ).sum(axis=1)
+            g_uq = float(sims.sum())
+            e_uq = float((sims * history.answer_votes[mask]).sum())
+        else:
+            g_uq = 0.0
+            e_uq = 0.0
+
+        # Social features (xiii)-(xx).
+        asker = thread.asker
+        s_uv = self._tv_similarity(
+            self._topics_discussed(user, tid), self._topics_discussed(asker, tid)
+        )
+        shared = self._thread_sets.get(user, set()) & self._thread_sets.get(
+            asker, set()
+        )
+        h_uv = float(len(shared - {tid}))
+        x = np.empty(self.spec.n_features)
+        pos = 0
+
+        def put(value: float) -> None:
+            nonlocal pos
+            x[pos] = value
+            pos += 1
+
+        def put_vec(vec: np.ndarray) -> None:
+            nonlocal pos
+            x[pos : pos + k] = vec
+            pos += k
+
+        put(n_answers)
+        put(answer_ratio)
+        put(votes_sum)
+        put(median_rt)
+        put_vec(d_u)
+        put(info.votes)
+        put(info.word_length)
+        put(info.code_length)
+        put_vec(d_q)
+        put(s_uq)
+        put(g_uq)
+        put(e_uq)
+        put(s_uv)
+        put(h_uv)
+        put(self._qa_closeness.get(user, 0.0))
+        put(self._qa_betweenness.get(user, 0.0))
+        put(resource_allocation_index(self.qa_graph, user, asker))
+        put(self._dense_closeness.get(user, 0.0))
+        put(self._dense_betweenness.get(user, 0.0))
+        put(resource_allocation_index(self.dense_graph, user, asker))
+        assert pos == self.spec.n_features
+        return x
+
+    def feature_matrix(
+        self, pairs: list[tuple[int, Thread]]
+    ) -> np.ndarray:
+        """Stacked feature vectors for (user, thread) pairs."""
+        if not pairs:
+            return np.empty((0, self.spec.n_features))
+        return np.vstack([self.features(u, t) for u, t in pairs])

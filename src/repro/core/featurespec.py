@@ -1,0 +1,121 @@
+"""Feature vector layout for the paper's 20 features (Sec. II-B).
+
+Two of the 20 features are length-K topic distributions, so the vector
+dimension is ``18 + 2K``.  This module owns the canonical ordering,
+names and the four group definitions (user, question, user-question,
+social) used by the ablation experiments of Figs. 6 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FeatureSpec", "FEATURE_GROUPS", "FEATURE_ORDER"]
+
+# Feature name -> (group, is_topic_distribution), in canonical order.
+FEATURE_ORDER: tuple[tuple[str, str, bool], ...] = (
+    # User features (i)-(v)
+    ("answers_provided", "user", False),  # a_u
+    ("answer_ratio", "user", False),  # o_u
+    ("net_answer_votes", "user", False),  # v_u
+    ("median_response_time", "user", False),  # r_u
+    ("topics_answered", "user", True),  # d_u (K columns)
+    # Question features (vi)-(ix)
+    ("net_question_votes", "question", False),  # v_q
+    ("question_word_length", "question", False),  # x_q
+    ("question_code_length", "question", False),  # c_q
+    ("topics_asked", "question", True),  # d_q (K columns)
+    # User-question features (x)-(xii)
+    ("user_question_topic_similarity", "user_question", False),  # s_uq
+    ("topic_weighted_questions_answered", "user_question", False),  # g_uq
+    ("topic_weighted_answer_votes", "user_question", False),  # e_uq
+    # Social features (xiii)-(xx)
+    ("user_user_topic_similarity", "social", False),  # s_uv
+    ("thread_cooccurrence", "social", False),  # h_uv
+    ("qa_closeness", "social", False),  # l^QA_u
+    ("qa_betweenness", "social", False),  # b^QA_u
+    ("qa_resource_allocation", "social", False),  # Re^QA_uv
+    ("dense_closeness", "social", False),  # l^D_u
+    ("dense_betweenness", "social", False),  # b^D_u
+    ("dense_resource_allocation", "social", False),  # Re^D_uv
+)
+
+FEATURE_GROUPS: tuple[str, ...] = ("user", "question", "user_question", "social")
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Column layout of the feature vector for a given topic count K."""
+
+    n_topics: int
+
+    def __post_init__(self):
+        if self.n_topics < 1:
+            raise ValueError("n_topics must be >= 1")
+
+    @property
+    def n_features(self) -> int:
+        """Total column count, 18 + 2K."""
+        return 18 + 2 * self.n_topics
+
+    @property
+    def feature_names(self) -> list[str]:
+        """The 20 feature names in canonical order."""
+        return [name for name, _, _ in FEATURE_ORDER]
+
+    def column_names(self) -> list[str]:
+        """One name per column; topic distributions expand to K columns."""
+        names: list[str] = []
+        for name, _, is_topic in FEATURE_ORDER:
+            if is_topic:
+                names.extend(f"{name}[{k}]" for k in range(self.n_topics))
+            else:
+                names.append(name)
+        return names
+
+    def columns_of(self, feature: str) -> np.ndarray:
+        """Column indices of one named feature (K indices if a distribution)."""
+        start = 0
+        for name, _, is_topic in FEATURE_ORDER:
+            width = self.n_topics if is_topic else 1
+            if name == feature:
+                return np.arange(start, start + width)
+            start += width
+        known = ", ".join(self.feature_names)
+        raise ValueError(f"unknown feature {feature!r}; known: {known}")
+
+    def columns_of_group(self, group: str) -> np.ndarray:
+        """All column indices belonging to one feature group."""
+        if group not in FEATURE_GROUPS:
+            raise ValueError(
+                f"unknown group {group!r}; known: {', '.join(FEATURE_GROUPS)}"
+            )
+        cols: list[np.ndarray] = []
+        for name, grp, _ in FEATURE_ORDER:
+            if grp == group:
+                cols.append(self.columns_of(name))
+        return np.concatenate(cols)
+
+    def group_of(self, feature: str) -> str:
+        """The group a feature belongs to."""
+        for name, grp, _ in FEATURE_ORDER:
+            if name == feature:
+                return grp
+        raise ValueError(f"unknown feature {feature!r}")
+
+    def mask_without(
+        self, *, features: tuple[str, ...] = (), groups: tuple[str, ...] = ()
+    ) -> np.ndarray:
+        """Boolean keep-mask over columns with features/groups excluded.
+
+        Used by the leave-one-out experiments: Fig. 6 drops single
+        features, Fig. 7 drops whole groups.
+        """
+        keep = np.ones(self.n_features, dtype=bool)
+        for feature in features:
+            keep[self.columns_of(feature)] = False
+        for group in groups:
+            keep[self.columns_of_group(group)] = False
+        return keep

@@ -1,0 +1,209 @@
+"""Persistence for trained predictors.
+
+``save_predictor`` stores everything learned — the three task models'
+weights, the scalers, the topic model and the configuration — in a
+single ``.npz`` archive.  ``load_predictor`` restores the predictor
+*without retraining*; it only needs the feature-window dataset back
+(datasets have their own serialization in :mod:`repro.forum.io`), from
+which the feature extractor's aggregates and graphs are rebuilt
+deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..forum.dataset import ForumDataset
+from ..ml.network import MLP
+from ..ml.scaler import StandardScaler
+from ..topics.lda import LdaVariational
+from ..topics.vocabulary import Vocabulary
+from .features import FeatureExtractor
+from .pipeline import ForumPredictor, PredictorConfig
+from .topic_context import TopicModelContext
+
+__all__ = ["save_predictor", "load_predictor"]
+
+_FORMAT_VERSION = 1
+
+
+def _mlp_arrays(prefix: str, net: MLP, meta: dict, arrays: dict) -> None:
+    layer_meta = []
+    for i, layer in enumerate(net.layers):
+        arrays[f"{prefix}_w{i}"] = layer.weight
+        arrays[f"{prefix}_b{i}"] = layer.bias
+        layer_meta.append(
+            {
+                "in_dim": layer.in_dim,
+                "out_dim": layer.out_dim,
+                "activation": layer.activation.name,
+            }
+        )
+    meta[prefix] = {"layers": layer_meta, "l2": net.l2}
+
+
+def _mlp_from_arrays(prefix: str, meta: dict, arrays) -> MLP:
+    layer_meta = meta[prefix]["layers"]
+    sizes = [layer_meta[0]["in_dim"]] + [lm["out_dim"] for lm in layer_meta]
+    hidden_act = layer_meta[0]["activation"] if len(layer_meta) > 1 else "identity"
+    output_act = layer_meta[-1]["activation"]
+    net = MLP(
+        sizes,
+        hidden_activation=hidden_act,
+        output_activation=output_act,
+        l2=meta[prefix]["l2"],
+    )
+    for i, layer in enumerate(net.layers):
+        layer.weight = arrays[f"{prefix}_w{i}"]
+        layer.bias = arrays[f"{prefix}_b{i}"]
+    return net
+
+
+def _scaler_arrays(prefix: str, scaler: StandardScaler, meta: dict, arrays: dict):
+    arrays[f"{prefix}_mean"] = scaler.mean_
+    arrays[f"{prefix}_scale"] = scaler.scale_
+    meta[prefix] = {"clip": scaler.clip}
+
+
+def _scaler_from_arrays(prefix: str, meta: dict, arrays) -> StandardScaler:
+    scaler = StandardScaler(clip=meta[prefix]["clip"])
+    scaler.mean_ = arrays[f"{prefix}_mean"]
+    scaler.scale_ = arrays[f"{prefix}_scale"]
+    return scaler
+
+
+def save_predictor(predictor: ForumPredictor, path: str | Path) -> None:
+    """Persist a fitted predictor to a ``.npz`` archive."""
+    if predictor.extractor is None:
+        raise ValueError("predictor is not fitted")
+    topics = predictor.topics
+    if not isinstance(topics.model, LdaVariational):
+        raise ValueError(
+            "only variational-LDA predictors can be persisted (the default)"
+        )
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {
+        "version": _FORMAT_VERSION,
+        "config": {
+            k: (list(v) if isinstance(v, tuple) else v)
+            for k, v in predictor.config.__dict__.items()
+        },
+        "horizon_reference": predictor._horizon_reference,
+        "max_train_time": predictor.timing_model._max_train_time,
+        "timing_predictor": predictor.timing_model.predictor,
+        "omega": predictor.timing_model.process.omega,
+        "vocabulary": topics.vocabulary.tokens,
+        "lda": {
+            "n_topics": topics.model.n_topics,
+            "alpha": topics.model.alpha,
+            "beta": topics.model.beta,
+        },
+        "answer_intercept": predictor.answer_model.classifier.intercept_,
+        "answer_l2": predictor.answer_model.classifier.l2,
+    }
+    arrays["lda_lambda"] = topics.model._lambda
+    arrays["answer_coef"] = predictor.answer_model.classifier.coef_
+    _scaler_arrays("answer_scaler", predictor.answer_model.scaler, meta, arrays)
+    _scaler_arrays("vote_scaler", predictor.vote_model.scaler, meta, arrays)
+    _scaler_arrays("timing_scaler", predictor.timing_model.scaler, meta, arrays)
+    _mlp_arrays("vote_net", predictor.vote_model.network, meta, arrays)
+    _mlp_arrays(
+        "excitation_net", predictor.timing_model.process.excitation_net, meta, arrays
+    )
+    if predictor.timing_model.process.decay_net is not None:
+        _mlp_arrays(
+            "decay_net", predictor.timing_model.process.decay_net, meta, arrays
+        )
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_predictor(
+    path: str | Path, feature_window: ForumDataset
+) -> ForumPredictor:
+    """Restore a predictor saved by :func:`save_predictor`.
+
+    ``feature_window`` must be the same dataset the predictor was fitted
+    on (feature aggregates and graphs are rebuilt from it; the learned
+    weights and topic model come from the archive).
+    """
+    with np.load(Path(path)) as archive:
+        arrays = {k: archive[k] for k in archive.files}
+    meta = json.loads(bytes(arrays.pop("__meta__")).decode("utf-8"))
+    if meta["version"] != _FORMAT_VERSION:
+        raise ValueError(f"unsupported predictor format version {meta['version']}")
+    config_dict = dict(meta["config"])
+    for key in ("vote_hidden", "excitation_hidden"):
+        config_dict[key] = tuple(config_dict[key])
+    config = PredictorConfig(**config_dict)
+    predictor = ForumPredictor(config)
+
+    # Topic model: rebuild vocabulary + variational LDA with saved lambda.
+    vocabulary = Vocabulary()
+    vocabulary._id_to_token = list(meta["vocabulary"])
+    vocabulary._token_to_id = {t: i for i, t in enumerate(vocabulary._id_to_token)}
+    lda_meta = meta["lda"]
+    lda = LdaVariational(
+        lda_meta["n_topics"],
+        len(vocabulary),
+        alpha=lda_meta["alpha"],
+        beta=lda_meta["beta"],
+    )
+    lam = arrays["lda_lambda"]
+    lda._lambda = lam
+    lda.topic_word_ = lam / lam.sum(axis=1, keepdims=True)
+    lda.doc_topic_ = np.empty((0, lda_meta["n_topics"]))
+    predictor.topics = TopicModelContext(vocabulary, lda, post_topics={})
+    predictor.extractor = FeatureExtractor(
+        feature_window,
+        predictor.topics,
+        betweenness_sample_size=config.betweenness_sample_size,
+        seed=config.seed,
+    )
+    predictor._horizon_reference = float(meta["horizon_reference"])
+
+    # Answer model.
+    from .answer_model import AnswerModel
+
+    answer = AnswerModel(l2=meta["answer_l2"])
+    answer.scaler = _scaler_from_arrays("answer_scaler", meta, arrays)
+    answer.classifier.coef_ = arrays["answer_coef"]
+    answer.classifier.intercept_ = float(meta["answer_intercept"])
+    predictor.answer_model = answer
+
+    # Vote model.
+    from .vote_model import VoteModel
+
+    vote = VoteModel(arrays["vote_net_w0"].shape[0], hidden=config.vote_hidden)
+    vote.scaler = _scaler_from_arrays("vote_scaler", meta, arrays)
+    vote.network = _mlp_from_arrays("vote_net", meta, arrays)
+    vote._fitted = True
+    predictor.vote_model = vote
+
+    # Timing model.
+    from .timing_model import TimingModel
+
+    timing = TimingModel(
+        arrays["excitation_net_w0"].shape[0],
+        excitation_hidden=config.excitation_hidden,
+        decay=config.decay,
+        omega=float(meta["omega"]),
+        predictor=meta["timing_predictor"],
+    )
+    timing.scaler = _scaler_from_arrays("timing_scaler", meta, arrays)
+    timing.process.excitation_net = _mlp_from_arrays(
+        "excitation_net", meta, arrays
+    )
+    if "decay_net_w0" in arrays:
+        timing.process.decay_net = _mlp_from_arrays("decay_net", meta, arrays)
+    else:
+        timing.process.decay_net = None
+    timing._max_train_time = float(meta["max_train_time"])
+    timing._fitted = True
+    predictor.timing_model = timing
+    return predictor

@@ -1,0 +1,189 @@
+"""End-to-end forum predictor (paper Fig. 1).
+
+``ForumPredictor`` glues the full methodology together: fit topics over
+the feature window, build the SLN graphs, extract the 20 features, and
+train the three task models (answer probability, net votes, response
+time).  Prediction then works for any (user, question) pair, including
+brand-new questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..forum.dataset import ForumDataset
+from ..forum.models import Thread
+from .answer_model import AnswerModel
+from .features import FeatureExtractor
+from .timing_model import TimingModel
+from .topic_context import TopicModelContext
+from .vote_model import VoteModel
+
+__all__ = ["PredictorConfig", "Prediction", "ForumPredictor"]
+
+
+@dataclass(frozen=True)
+class PredictorConfig:
+    """Hyperparameters; defaults follow the paper's Sec. IV-A setup."""
+
+    n_topics: int = 8  # paper's K = 8
+    lda_method: str = "variational"
+    lda_min_count: int = 2
+    vote_hidden: tuple[int, ...] = (20, 20, 20, 20)  # L=4, 20 units
+    excitation_hidden: tuple[int, ...] = (100, 50)
+    decay: str = "network"
+    omega: float = 0.5  # constant decay rate per hour when decay="constant"
+    answer_l2: float = 1e-2
+    vote_epochs: int = 300
+    timing_epochs: int = 300
+    negative_ratio: float = 1.0  # negatives per positive for task (i)
+    betweenness_sample_size: int | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_topics < 1:
+            raise ValueError("n_topics must be >= 1")
+        if self.negative_ratio <= 0:
+            raise ValueError("negative_ratio must be positive")
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """Joint prediction for one (user, question) pair."""
+
+    answer_probability: float  # hat a_uq
+    votes: float  # hat v_uq
+    response_time: float  # hat r_uq, hours
+
+
+class ForumPredictor:
+    """Trains and serves the paper's three predictors."""
+
+    def __init__(self, config: PredictorConfig | None = None):
+        self.config = config or PredictorConfig()
+        self.topics: TopicModelContext | None = None
+        self.extractor: FeatureExtractor | None = None
+        self.answer_model: AnswerModel | None = None
+        self.vote_model: VoteModel | None = None
+        self.timing_model: TimingModel | None = None
+        self._horizon_reference: float = 0.0
+
+    # -- training -----------------------------------------------------------------
+
+    def fit(
+        self,
+        dataset: ForumDataset,
+        *,
+        feature_window: ForumDataset | None = None,
+    ) -> "ForumPredictor":
+        """Train all three models.
+
+        ``dataset`` supplies the training pairs (the paper's Omega);
+        ``feature_window`` the questions features are computed over (the
+        paper's F(q)), defaulting to ``dataset`` itself.
+        """
+        cfg = self.config
+        window = feature_window if feature_window is not None else dataset
+        if len(dataset) == 0 or len(window) == 0:
+            raise ValueError("dataset and feature window must be non-empty")
+        self.topics = TopicModelContext.fit(
+            window,
+            n_topics=cfg.n_topics,
+            method=cfg.lda_method,
+            min_count=cfg.lda_min_count,
+            seed=cfg.seed,
+        )
+        self.extractor = FeatureExtractor(
+            window,
+            self.topics,
+            betweenness_sample_size=cfg.betweenness_sample_size,
+            seed=cfg.seed,
+        )
+        # The paper's horizon T: timestamp of the last post in the data.
+        self._horizon_reference = max(
+            dataset.duration_hours, window.duration_hours
+        )
+        records = dataset.answer_records()
+        if not records:
+            raise ValueError("dataset has no answers to train on")
+        pos_pairs = [(r.user, dataset.thread(r.thread_id)) for r in records]
+        x_pos = self.extractor.feature_matrix(pos_pairs)
+        votes = np.array([r.votes for r in records], dtype=float)
+        times = np.array([r.response_time for r in records], dtype=float)
+        n_neg = max(1, int(round(len(records) * cfg.negative_ratio)))
+        neg_pairs = [
+            (u, dataset.thread(tid))
+            for u, tid in dataset.sample_negative_pairs(n_neg, seed=cfg.seed)
+        ]
+        x_neg = self.extractor.feature_matrix(neg_pairs)
+
+        self.answer_model = AnswerModel(l2=cfg.answer_l2).fit(
+            np.vstack([x_pos, x_neg]),
+            np.r_[np.ones(len(pos_pairs)), np.zeros(len(neg_pairs))],
+        )
+        self.vote_model = VoteModel(
+            x_pos.shape[1],
+            hidden=cfg.vote_hidden,
+            epochs=cfg.vote_epochs,
+            seed=cfg.seed,
+        )
+        self.vote_model.fit(x_pos, votes)
+        self.timing_model = TimingModel(
+            x_pos.shape[1],
+            excitation_hidden=cfg.excitation_hidden,
+            decay=cfg.decay,
+            omega=cfg.omega,
+            epochs=cfg.timing_epochs,
+            seed=cfg.seed,
+        )
+        x_all = np.vstack([x_pos, x_neg])
+        times_all = np.r_[times, np.zeros(len(neg_pairs))]
+        horizons_all = self._horizons(
+            [t for _, t in pos_pairs] + [t for _, t in neg_pairs]
+        )
+        is_event = np.r_[np.ones(len(pos_pairs)), np.zeros(len(neg_pairs))]
+        self.timing_model.fit(x_all, times_all, horizons_all, is_event)
+        return self
+
+    def _horizons(self, threads: list[Thread]) -> np.ndarray:
+        """Observation window T - t(p_q0) per thread, floored at one hour."""
+        return np.maximum(
+            self._horizon_reference
+            - np.array([t.created_at for t in threads]),
+            1.0,
+        )
+
+    def _check_fitted(self) -> None:
+        if self.extractor is None:
+            raise RuntimeError("predictor is not fitted")
+
+    # -- prediction -----------------------------------------------------------------
+
+    def predict(self, user: int, thread: Thread) -> Prediction:
+        """Joint prediction for a single pair."""
+        self._check_fitted()
+        x = self.extractor.features(user, thread)[None, :]
+        horizon = self._horizons([thread])
+        return Prediction(
+            answer_probability=float(self.answer_model.predict_proba(x)[0]),
+            votes=float(self.vote_model.predict(x)[0]),
+            response_time=float(self.timing_model.predict(x, horizon)[0]),
+        )
+
+    def predict_batch(
+        self, pairs: list[tuple[int, Thread]]
+    ) -> dict[str, np.ndarray]:
+        """Vectorized predictions: arrays keyed answer/votes/response_time."""
+        self._check_fitted()
+        if not pairs:
+            empty = np.empty(0)
+            return {"answer": empty, "votes": empty, "response_time": empty}
+        x = self.extractor.feature_matrix(pairs)
+        horizons = self._horizons([t for _, t in pairs])
+        return {
+            "answer": self.answer_model.predict_proba(x),
+            "votes": self.vote_model.predict(x),
+            "response_time": self.timing_model.predict(x, horizons),
+        }

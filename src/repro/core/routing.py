@@ -1,0 +1,171 @@
+"""Question recommendation by joint quality/timing optimization (Sec. V).
+
+For a new question q', the recommender:
+
+1. computes predictions (a_hat, v_hat, r_hat) for every candidate user;
+2. keeps the eligible set ``U = {u : a_hat >= epsilon}``;
+3. solves the linear program
+
+   maximize   sum_u (v_hat_u - lambda * r_hat_u) p_u
+   subject to 0 <= p_u <= c_u - (answers by u in the recent window),
+              sum_u p_u = 1,
+
+   whose solution is a probability distribution over recommended
+   answerers.
+
+The LP has a box + single simplex constraint, so the exact optimum is a
+greedy fill: sort users by score and assign as much probability as each
+user's remaining capacity allows until the unit mass is spent.  Tests
+cross-check against ``scipy.optimize.linprog``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..forum.dataset import ForumDataset
+from ..forum.models import Thread
+from .pipeline import ForumPredictor
+
+__all__ = ["solve_routing_lp", "RoutingResult", "QuestionRouter"]
+
+
+def solve_routing_lp(
+    scores: np.ndarray, capacities: np.ndarray
+) -> np.ndarray:
+    """Exact solution of the box+simplex LP by greedy capacity filling.
+
+    ``scores[u]`` is the objective coefficient of user u and
+    ``capacities[u]`` the upper bound on ``p_u``.  Raises ``ValueError``
+    when total capacity cannot absorb the unit mass (infeasible).
+    """
+    scores = np.asarray(scores, dtype=float)
+    capacities = np.asarray(capacities, dtype=float)
+    if scores.shape != capacities.shape or scores.ndim != 1:
+        raise ValueError("scores and capacities must be matching 1-D arrays")
+    capacities = np.clip(capacities, 0.0, None)
+    if capacities.sum() < 1.0 - 1e-12:
+        raise ValueError("infeasible: total capacity below 1")
+    p = np.zeros_like(scores)
+    remaining = 1.0
+    for u in np.argsort(-scores, kind="stable"):
+        take = min(capacities[u], remaining)
+        p[u] = take
+        remaining -= take
+        if remaining <= 1e-15:
+            break
+    return p
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """Recommendation output for one question."""
+
+    question_id: int
+    users: np.ndarray  # candidate user ids (the eligible set)
+    probabilities: np.ndarray  # p over the eligible set, sums to 1
+    scores: np.ndarray  # v_hat - lambda * r_hat per eligible user
+    predictions: dict[str, np.ndarray]  # raw a/v/r predictions per user
+
+    def ranked_users(self) -> list[tuple[int, float]]:
+        """(user, probability) pairs sorted by assigned probability."""
+        order = np.argsort(-self.probabilities, kind="stable")
+        return [
+            (int(self.users[i]), float(self.probabilities[i]))
+            for i in order
+            if self.probabilities[i] > 0
+        ]
+
+    def draw(self, rng: np.random.Generator) -> int:
+        """Sample one recommended answerer from the distribution."""
+        idx = rng.choice(len(self.users), p=self.probabilities)
+        return int(self.users[idx])
+
+
+class QuestionRouter:
+    """Routes new questions to answerers using a fitted predictor."""
+
+    def __init__(
+        self,
+        predictor: ForumPredictor,
+        *,
+        epsilon: float = 0.5,
+        default_capacity: float = 1.0,
+        load_window_hours: float = 24.0,
+    ):
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if default_capacity <= 0:
+            raise ValueError("default_capacity must be positive")
+        self.predictor = predictor
+        self.epsilon = epsilon
+        self.default_capacity = default_capacity
+        self.load_window_hours = load_window_hours
+
+    def recent_load(
+        self, dataset: ForumDataset, now_hours: float
+    ) -> dict[int, int]:
+        """Answers posted by each user within the recent load window."""
+        start = now_hours - self.load_window_hours
+        load: dict[int, int] = {}
+        for record in dataset.answer_records():
+            if start <= record.timestamp <= now_hours:
+                load[record.user] = load.get(record.user, 0) + 1
+        return load
+
+    def recommend(
+        self,
+        thread: Thread,
+        candidates: list[int],
+        *,
+        tradeoff: float = 0.1,
+        recent_load: dict[int, int] | None = None,
+        capacities: dict[int, float] | None = None,
+    ) -> RoutingResult | None:
+        """Solve the Sec.-V LP for one question.
+
+        ``tradeoff`` is the paper's lambda_q' (importance of timing vs.
+        quality, possibly set by the asker).  Returns ``None`` when no
+        candidate clears the eligibility threshold or capacity is
+        exhausted.
+        """
+        if not candidates:
+            return None
+        recent_load = recent_load or {}
+        capacities = capacities or {}
+        preds = self.predictor.predict_batch(
+            [(u, thread) for u in candidates]
+        )
+        eligible = np.flatnonzero(preds["answer"] >= self.epsilon)
+        if eligible.size == 0:
+            return None
+        users = np.array(candidates)[eligible]
+        votes = preds["votes"][eligible]
+        times = preds["response_time"][eligible]
+        scores = votes - tradeoff * times
+        caps = np.array(
+            [
+                max(
+                    capacities.get(int(u), self.default_capacity)
+                    - recent_load.get(int(u), 0),
+                    0.0,
+                )
+                for u in users
+            ]
+        )
+        if caps.sum() < 1.0 - 1e-12:
+            return None
+        probabilities = solve_routing_lp(scores, caps)
+        return RoutingResult(
+            question_id=thread.thread_id,
+            users=users,
+            probabilities=probabilities,
+            scores=scores,
+            predictions={
+                "answer": preds["answer"][eligible],
+                "votes": votes,
+                "response_time": times,
+            },
+        )

@@ -1,0 +1,105 @@
+"""Quality/timing tradeoff analysis for the routing LP (paper Sec. V).
+
+The router's lambda parameter weighs predicted response time against
+predicted votes.  This module sweeps lambda to trace the achievable
+(quality, latency) frontier over a set of questions — the curve an
+asker (or platform) moves along when setting the knob — and extracts
+its Pareto-efficient subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..forum.models import Thread
+from .routing import QuestionRouter
+
+__all__ = ["FrontierPoint", "TradeoffFrontier", "sweep_tradeoff", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """Mean routed outcome at one lambda setting."""
+
+    tradeoff: float
+    mean_votes: float  # mean predicted votes of the routed user
+    mean_response_time: float  # mean predicted latency of the routed user
+    n_routed: int
+
+
+@dataclass(frozen=True)
+class TradeoffFrontier:
+    """The full sweep plus its Pareto-efficient subset."""
+
+    points: tuple[FrontierPoint, ...]
+
+    @property
+    def pareto(self) -> tuple[FrontierPoint, ...]:
+        return pareto_front(self.points)
+
+    def as_rows(self) -> list[tuple[float, float, float, int]]:
+        return [
+            (p.tradeoff, p.mean_votes, p.mean_response_time, p.n_routed)
+            for p in self.points
+        ]
+
+
+def pareto_front(points) -> tuple[FrontierPoint, ...]:
+    """Points not dominated in (higher votes, lower response time)."""
+    points = list(points)
+    efficient = []
+    for p in points:
+        dominated = any(
+            (q.mean_votes >= p.mean_votes)
+            and (q.mean_response_time <= p.mean_response_time)
+            and (
+                q.mean_votes > p.mean_votes
+                or q.mean_response_time < p.mean_response_time
+            )
+            for q in points
+        )
+        if not dominated:
+            efficient.append(p)
+    efficient.sort(key=lambda p: p.tradeoff)
+    return tuple(efficient)
+
+
+def sweep_tradeoff(
+    router: QuestionRouter,
+    threads: list[Thread],
+    candidates: list[int],
+    *,
+    tradeoffs: tuple[float, ...] = (0.0, 0.1, 0.5, 1.0, 2.0, 5.0),
+    recent_load: dict[int, int] | None = None,
+) -> TradeoffFrontier:
+    """Route every thread at each lambda and record mean routed outcomes."""
+    if not threads:
+        raise ValueError("need at least one thread")
+    if not candidates:
+        raise ValueError("need a non-empty candidate pool")
+    points = []
+    for lam in tradeoffs:
+        votes, times = [], []
+        for thread in threads:
+            result = router.recommend(
+                thread, candidates, tradeoff=lam, recent_load=recent_load
+            )
+            if result is None:
+                continue
+            top = result.ranked_users()[0][0]
+            idx = int(np.flatnonzero(result.users == top)[0])
+            votes.append(float(result.predictions["votes"][idx]))
+            times.append(float(result.predictions["response_time"][idx]))
+        points.append(
+            FrontierPoint(
+                tradeoff=float(lam),
+                mean_votes=float(np.mean(votes)) if votes else float("nan"),
+                mean_response_time=(
+                    float(np.mean(times)) if times else float("nan")
+                ),
+                n_routed=len(votes),
+            )
+        )
+    return TradeoffFrontier(points=tuple(points))

@@ -1,0 +1,48 @@
+"""Forum substrate: data model, preprocessing, synthetic generator, stats."""
+
+from .dataset import AnswerRecord, ForumDataset, PreprocessReport
+from .generator import ForumConfig, SyntheticForum, generate_forum
+from .io import load_dataset, save_dataset
+from .models import HOURS_PER_DAY, Post, Thread
+from .stackexchange import load_api_json, load_posts_xml
+from .repair import RepairReport, repair_dataset
+from .validation import ValidationIssue, ValidationReport, validate_dataset
+from .stats import (
+    DatasetSummary,
+    GraphSummary,
+    answer_activity_cdf,
+    ecdf,
+    median_response_time_by_activity,
+    summarize_dataset,
+    summarize_graphs,
+    vote_time_correlation,
+)
+
+__all__ = [
+    "AnswerRecord",
+    "ForumDataset",
+    "PreprocessReport",
+    "ForumConfig",
+    "SyntheticForum",
+    "generate_forum",
+    "load_dataset",
+    "save_dataset",
+    "load_api_json",
+    "load_posts_xml",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_dataset",
+    "RepairReport",
+    "repair_dataset",
+    "HOURS_PER_DAY",
+    "Post",
+    "Thread",
+    "DatasetSummary",
+    "GraphSummary",
+    "answer_activity_cdf",
+    "ecdf",
+    "median_response_time_by_activity",
+    "summarize_dataset",
+    "summarize_graphs",
+    "vote_time_correlation",
+]

@@ -1,0 +1,238 @@
+"""Forum dataset container and the paper's preprocessing pipeline.
+
+Sec. III-A preprocessing steps, in order:
+
+1. drop questions without at least one answer;
+2. where a user answered the same question more than once, keep the
+   answer with the highest score;
+3. drop answers posted at (or before) the question's own timestamp.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from .models import HOURS_PER_DAY, Post, Thread
+
+__all__ = ["ForumDataset", "AnswerRecord", "PreprocessReport"]
+
+
+@dataclass(frozen=True)
+class AnswerRecord:
+    """One observed (user, question) answer event — a positive a_uq pair."""
+
+    user: int
+    thread_id: int
+    votes: int
+    response_time: float  # hours after the question, the paper's r_uq
+    timestamp: float
+
+
+@dataclass(frozen=True)
+class PreprocessReport:
+    """What Sec. III-A preprocessing removed."""
+
+    questions_dropped_unanswered: int
+    duplicate_answers_removed: int
+    zero_delay_answers_removed: int
+
+
+class ForumDataset:
+    """An ordered collection of threads with question-level indexing."""
+
+    def __init__(self, threads: Iterable[Thread]):
+        self.threads: list[Thread] = sorted(threads, key=lambda t: t.created_at)
+        self._by_id = {t.thread_id: t for t in self.threads}
+        if len(self._by_id) != len(self.threads):
+            raise ValueError("duplicate thread ids")
+
+    # -- basic access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.threads)
+
+    def __iter__(self) -> Iterator[Thread]:
+        return iter(self.threads)
+
+    def thread(self, thread_id: int) -> Thread:
+        return self._by_id[thread_id]
+
+    def __contains__(self, thread_id: int) -> bool:
+        return thread_id in self._by_id
+
+    @property
+    def askers(self) -> set[int]:
+        return {t.asker for t in self.threads}
+
+    @property
+    def answerers(self) -> set[int]:
+        return {u for t in self.threads for u in t.answerers}
+
+    @property
+    def users(self) -> set[int]:
+        return self.askers | self.answerers
+
+    @property
+    def num_answers(self) -> int:
+        return sum(len(t.answers) for t in self.threads)
+
+    @property
+    def duration_hours(self) -> float:
+        """Time of the last post in the dataset (paper's horizon T)."""
+        last = 0.0
+        for t in self.threads:
+            last = max(last, t.created_at)
+            if t.answers:
+                last = max(last, t.answers[-1].timestamp)
+        return last
+
+    # -- preprocessing (Sec. III-A) -------------------------------------------
+
+    def preprocess(self) -> tuple["ForumDataset", PreprocessReport]:
+        """Apply the paper's filtering; returns a new dataset and a report."""
+        duplicate_removed = 0
+        zero_delay_removed = 0
+        kept_threads: list[Thread] = []
+        unanswered = 0
+        for t in self.threads:
+            # Keep one answer per user: the highest-voted (ties: earliest).
+            best: dict[int, Post] = {}
+            for a in t.answers:
+                cur = best.get(a.author)
+                if cur is None:
+                    best[a.author] = a
+                else:
+                    duplicate_removed += 1
+                    if (a.votes, -a.timestamp) > (cur.votes, -cur.timestamp):
+                        best[a.author] = a
+            answers = []
+            for a in best.values():
+                if a.timestamp <= t.created_at:
+                    zero_delay_removed += 1
+                else:
+                    answers.append(a)
+            if not answers:
+                unanswered += 1
+                continue
+            kept_threads.append(Thread(question=t.question, answers=answers))
+        report = PreprocessReport(
+            questions_dropped_unanswered=unanswered,
+            duplicate_answers_removed=duplicate_removed,
+            zero_delay_answers_removed=zero_delay_removed,
+        )
+        return ForumDataset(kept_threads), report
+
+    # -- derived views ---------------------------------------------------------
+
+    def answer_records(self) -> list[AnswerRecord]:
+        """All positive (u, q) pairs with votes and response times."""
+        records = []
+        for t in self.threads:
+            for a in t.answers:
+                records.append(
+                    AnswerRecord(
+                        user=a.author,
+                        thread_id=t.thread_id,
+                        votes=a.votes,
+                        response_time=a.timestamp - t.created_at,
+                        timestamp=a.timestamp,
+                    )
+                )
+        return records
+
+    def participant_tuples(self) -> list[tuple[int, list[int]]]:
+        """(asker, answerers) per thread, for the SLN graph builders."""
+        return [(t.asker, t.answerers) for t in self.threads]
+
+    def answer_matrix_density(self) -> float:
+        """Fraction of 1s in the answering matrix A over answerers x questions.
+
+        The paper reports 0.03% for its Stack Overflow sample.
+        """
+        n_answerers = len(self.answerers)
+        n_questions = len(self.threads)
+        if n_answerers == 0 or n_questions == 0:
+            return 0.0
+        positives = sum(len(t.answerers) for t in self.threads)
+        return positives / (n_answerers * n_questions)
+
+    def answers_per_user(self) -> Counter:
+        """a_u counts over answerers."""
+        counts: Counter[int] = Counter()
+        for t in self.threads:
+            for u in t.answerers:
+                counts[u] += 1
+        return counts
+
+    # -- partitioning ------------------------------------------------------------
+
+    def threads_in_window(self, start_hour: float, end_hour: float) -> "ForumDataset":
+        """Threads whose *question* was created in [start_hour, end_hour)."""
+        if end_hour <= start_hour:
+            raise ValueError("end_hour must exceed start_hour")
+        return ForumDataset(
+            t for t in self.threads if start_hour <= t.created_at < end_hour
+        )
+
+    def threads_in_days(self, first_day: int, last_day: int) -> "ForumDataset":
+        """Threads created in days ``first_day..last_day`` inclusive (1-based).
+
+        Matches the paper's D_i partitioning in Sec. IV-D.
+        """
+        if first_day < 1 or last_day < first_day:
+            raise ValueError("need 1 <= first_day <= last_day")
+        return self.threads_in_window(
+            (first_day - 1) * HOURS_PER_DAY, last_day * HOURS_PER_DAY
+        )
+
+    def threads_before(self, thread_id: int) -> "ForumDataset":
+        """All threads created at or before the given thread (chronological F(q))."""
+        anchor = self._by_id[thread_id].created_at
+        return ForumDataset(t for t in self.threads if t.created_at <= anchor)
+
+    def subset(self, thread_ids: Iterable[int]) -> "ForumDataset":
+        """Dataset restricted to the given thread ids."""
+        ids = set(thread_ids)
+        missing = ids - set(self._by_id)
+        if missing:
+            raise KeyError(f"unknown thread ids: {sorted(missing)[:5]}")
+        return ForumDataset(self._by_id[i] for i in ids)
+
+    def sample_negative_pairs(
+        self, n: int, seed: int | np.random.Generator = 0
+    ) -> list[tuple[int, int]]:
+        """(user, thread_id) pairs with a_uq = 0, spread across questions.
+
+        Follows Sec. IV-A: negative samples are drawn equally across
+        questions, pairing each sampled question with a random user (from
+        the full user population, most of whom never answer anything)
+        who did not answer it.
+        """
+        rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        user_pool = sorted(self.users)
+        if not user_pool or not self.threads:
+            raise ValueError("dataset has no users or no threads")
+        pairs: list[tuple[int, int]] = []
+        thread_order = rng.permutation(len(self.threads))
+        i = 0
+        attempts = 0
+        max_attempts = 50 * n + 100
+        while len(pairs) < n and attempts < max_attempts:
+            attempts += 1
+            t = self.threads[thread_order[i % len(self.threads)]]
+            i += 1
+            user = int(user_pool[rng.integers(len(user_pool))])
+            if user == t.asker or user in t.answerers:
+                continue
+            pairs.append((user, t.thread_id))
+        if len(pairs) < n:
+            raise RuntimeError("could not sample enough negative pairs")
+        return pairs

@@ -1,0 +1,104 @@
+"""Dataset persistence: JSON-lines serialization of forum datasets.
+
+One JSON object per thread, stable across versions, so generated
+datasets (or datasets converted from real dumps) can be stored and
+reloaded without re-running the generator.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+from typing import IO
+
+from .dataset import ForumDataset
+from .models import Post, Thread
+
+__all__ = ["save_dataset", "load_dataset", "thread_to_dict", "thread_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def post_to_dict(post: Post) -> dict:
+    """Plain-dict form of a post."""
+    return {
+        "post_id": post.post_id,
+        "thread_id": post.thread_id,
+        "author": post.author,
+        "timestamp": post.timestamp,
+        "votes": post.votes,
+        "body": post.body,
+        "is_question": post.is_question,
+    }
+
+
+def post_from_dict(data: dict) -> Post:
+    """Rebuild a post; raises ``KeyError``/``ValueError`` on bad input."""
+    return Post(
+        post_id=int(data["post_id"]),
+        thread_id=int(data["thread_id"]),
+        author=int(data["author"]),
+        timestamp=float(data["timestamp"]),
+        votes=int(data["votes"]),
+        body=str(data["body"]),
+        is_question=bool(data["is_question"]),
+    )
+
+
+def thread_to_dict(thread: Thread) -> dict:
+    """Plain-dict form of a thread."""
+    return {
+        "version": _FORMAT_VERSION,
+        "question": post_to_dict(thread.question),
+        "answers": [post_to_dict(a) for a in thread.answers],
+    }
+
+
+def thread_from_dict(data: dict) -> Thread:
+    """Rebuild a thread from its dict form."""
+    version = data.get("version", _FORMAT_VERSION)
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported thread format version {version}")
+    return Thread(
+        question=post_from_dict(data["question"]),
+        answers=[post_from_dict(a) for a in data.get("answers", [])],
+    )
+
+
+def _open_for_write(path: Path) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, "wt", encoding="utf-8")
+    return open(path, "w", encoding="utf-8")
+
+
+def _open_for_read(path: Path) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def save_dataset(dataset: ForumDataset, path: str | Path) -> None:
+    """Write a dataset as JSON lines (gzipped when the path ends in .gz)."""
+    path = Path(path)
+    with _open_for_write(path) as fh:
+        for thread in dataset:
+            fh.write(json.dumps(thread_to_dict(thread)) + "\n")
+
+
+def load_dataset(path: str | Path) -> ForumDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    path = Path(path)
+    threads = []
+    with _open_for_read(path) as fh:
+        for line_number, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                threads.append(thread_from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError, ValueError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed thread record: {exc}"
+                ) from exc
+    return ForumDataset(threads)

@@ -1,0 +1,104 @@
+"""Forum data model.
+
+Mirrors the paper's notation (Sec. II-A): a forum is a set of threads;
+thread ``q`` consists of posts ``p_q0`` (the question) and ``p_q1, ...``
+(the answers).  Each post has a creator ``u(p)``, a timestamp ``t(p)``
+and net votes ``v(p)``; bodies carry HTML with ``<code>`` spans so the
+word/code split of Sec. II-B applies.
+
+Timestamps are hours since the start of the observation window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Post", "Thread", "HOURS_PER_DAY"]
+
+HOURS_PER_DAY = 24.0
+
+
+@dataclass(frozen=True)
+class Post:
+    """A single forum post (question or answer)."""
+
+    post_id: int
+    thread_id: int
+    author: int
+    timestamp: float
+    votes: int
+    body: str
+    is_question: bool
+
+    def __post_init__(self):
+        if self.timestamp < 0:
+            raise ValueError("timestamp must be non-negative")
+
+
+@dataclass
+class Thread:
+    """A question post plus its answers, kept sorted by time."""
+
+    question: Post
+    answers: list[Post] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.question.is_question:
+            raise ValueError("thread root must be a question post")
+        for a in self.answers:
+            self._check_answer(a)
+        self.answers.sort(key=lambda p: p.timestamp)
+
+    def _check_answer(self, post: Post) -> None:
+        if post.is_question:
+            raise ValueError("answers must not be question posts")
+        if post.thread_id != self.thread_id:
+            raise ValueError("answer belongs to a different thread")
+
+    @property
+    def thread_id(self) -> int:
+        return self.question.thread_id
+
+    @property
+    def asker(self) -> int:
+        """The question creator u(p_q0)."""
+        return self.question.author
+
+    @property
+    def answerers(self) -> list[int]:
+        """Distinct answerer ids in order of first answer."""
+        seen: list[int] = []
+        for a in self.answers:
+            if a.author not in seen:
+                seen.append(a.author)
+        return seen
+
+    @property
+    def created_at(self) -> float:
+        """t(p_q0), the question timestamp."""
+        return self.question.timestamp
+
+    @property
+    def posts(self) -> list[Post]:
+        """Question followed by answers (the p_qn sequence)."""
+        return [self.question, *self.answers]
+
+    def add_answer(self, post: Post) -> None:
+        """Insert an answer keeping chronological order."""
+        self._check_answer(post)
+        self.answers.append(post)
+        self.answers.sort(key=lambda p: p.timestamp)
+
+    def response_time(self, user: int) -> float:
+        """Elapsed hours before ``user``'s first answer; KeyError if none."""
+        for a in self.answers:
+            if a.author == user:
+                return a.timestamp - self.created_at
+        raise KeyError(f"user {user} did not answer thread {self.thread_id}")
+
+    def answer_by(self, user: int) -> Post:
+        """The (first) answer posted by ``user``; KeyError if none."""
+        for a in self.answers:
+            if a.author == user:
+                return a
+        raise KeyError(f"user {user} did not answer thread {self.thread_id}")

@@ -1,0 +1,68 @@
+"""Automatic repair of dataset integrity violations.
+
+Pairs with :mod:`repro.forum.validation`: where the validator reports,
+the repairer fixes — dropping offending answers (pre-question
+timestamps, self-answers, duplicate post ids) and, where a question
+itself is broken, the whole thread.  The result always validates clean
+apart from ``empty_body`` (which featurization tolerates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dataset import ForumDataset
+from .models import Post, Thread
+
+__all__ = ["RepairReport", "repair_dataset"]
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What repair removed."""
+
+    answers_dropped_duplicate_id: int
+    answers_dropped_before_question: int
+    answers_dropped_self_answer: int
+    threads_dropped_duplicate_question_id: int
+
+
+def repair_dataset(dataset: ForumDataset) -> tuple[ForumDataset, RepairReport]:
+    """Drop every structurally invalid post; returns (dataset, report).
+
+    Repair is conservative: it never rewrites timestamps or authors,
+    only removes what cannot be trusted.  Threads left without answers
+    are kept (preprocessing decides what to do with them).
+    """
+    seen_post_ids: set[int] = set()
+    threads: list[Thread] = []
+    dup_answers = 0
+    early_answers = 0
+    self_answers = 0
+    dup_questions = 0
+    for thread in dataset:
+        if thread.question.post_id in seen_post_ids:
+            dup_questions += 1
+            continue
+        seen_post_ids.add(thread.question.post_id)
+        kept: list[Post] = []
+        for answer in thread.answers:
+            if answer.post_id in seen_post_ids:
+                dup_answers += 1
+                continue
+            if answer.timestamp < thread.created_at:
+                early_answers += 1
+                continue
+            if answer.author == thread.asker:
+                self_answers += 1
+                continue
+            seen_post_ids.add(answer.post_id)
+            kept.append(answer)
+        threads.append(Thread(question=thread.question, answers=kept))
+    report = RepairReport(
+        answers_dropped_duplicate_id=dup_answers,
+        answers_dropped_before_question=early_answers,
+        answers_dropped_self_answer=self_answers,
+        threads_dropped_duplicate_question_id=dup_questions,
+    )
+    return ForumDataset(threads), report

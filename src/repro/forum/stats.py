@@ -1,0 +1,139 @@
+"""Descriptive analytics over a forum dataset (paper Sec. III, Figs. 2-4).
+
+These functions regenerate the quantities behind the paper's descriptive
+figures: graph degree statistics (Fig. 2), the votes-versus-response-time
+relationship (Fig. 3) and the CDFs of selected features (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs import build_dense_graph, build_qa_graph
+from ..ml.metrics import pearson_correlation, spearman_correlation
+from .dataset import ForumDataset
+
+__all__ = [
+    "DatasetSummary",
+    "GraphSummary",
+    "ecdf",
+    "summarize_dataset",
+    "summarize_graphs",
+    "vote_time_correlation",
+    "median_response_time_by_activity",
+    "answer_activity_cdf",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Headline counts matching paper Sec. III-A."""
+
+    n_questions: int
+    n_answers: int
+    n_askers: int
+    n_answerers: int
+    n_users: int
+    answer_matrix_density: float
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """Fig. 2 statistics for one SLN graph."""
+
+    n_nodes: int
+    n_edges: int
+    average_degree: float
+    n_components: int
+    largest_component_fraction: float
+
+
+def summarize_dataset(dataset: ForumDataset) -> DatasetSummary:
+    """Count users, posts and the answering-matrix density."""
+    return DatasetSummary(
+        n_questions=len(dataset),
+        n_answers=dataset.num_answers,
+        n_askers=len(dataset.askers),
+        n_answerers=len(dataset.answerers),
+        n_users=len(dataset.users),
+        answer_matrix_density=dataset.answer_matrix_density(),
+    )
+
+
+def summarize_graphs(dataset: ForumDataset) -> dict[str, GraphSummary]:
+    """Build G_QA and G_D over the dataset and summarize both (Fig. 2)."""
+    tuples = dataset.participant_tuples()
+    out = {}
+    for name, graph in (
+        ("qa", build_qa_graph(tuples)),
+        ("dense", build_dense_graph(tuples)),
+    ):
+        components = graph.connected_components()
+        out[name] = GraphSummary(
+            n_nodes=graph.num_nodes,
+            n_edges=graph.num_edges,
+            average_degree=graph.average_degree(),
+            n_components=len(components),
+            largest_component_fraction=(
+                len(components[0]) / graph.num_nodes if components else 0.0
+            ),
+        )
+    return out
+
+
+def ecdf(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns sorted values and cumulative probabilities."""
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("ecdf of empty data is undefined")
+    x = np.sort(values)
+    y = np.arange(1, len(x) + 1) / len(x)
+    return x, y
+
+
+def vote_time_correlation(dataset: ForumDataset) -> dict[str, float]:
+    """Correlation between answer votes and response time (Fig. 3).
+
+    The paper's key observation: these are *uncorrelated*, so quality
+    and timing are genuinely separate prediction targets.
+    """
+    records = dataset.answer_records()
+    if len(records) < 2:
+        raise ValueError("need at least 2 answers")
+    votes = np.array([r.votes for r in records], dtype=float)
+    times = np.array([r.response_time for r in records], dtype=float)
+    return {
+        "pearson": pearson_correlation(votes, times),
+        "spearman": spearman_correlation(votes, times),
+        "n_pairs": float(len(records)),
+    }
+
+
+def answer_activity_cdf(dataset: ForumDataset) -> tuple[np.ndarray, np.ndarray]:
+    """CDF of answers-per-user a_u (Fig. 4a)."""
+    counts = dataset.answers_per_user()
+    if not counts:
+        raise ValueError("dataset has no answers")
+    return ecdf(np.array(list(counts.values()), dtype=float))
+
+
+def median_response_time_by_activity(
+    dataset: ForumDataset, activity_thresholds: tuple[int, ...] = (1, 2, 3, 5)
+) -> dict[int, np.ndarray]:
+    """Per-user median response times grouped by activity level (Fig. 4b).
+
+    For each threshold ``a`` returns the array of median response times of
+    users with at least ``a`` answers.
+    """
+    by_user: dict[int, list[float]] = {}
+    for record in dataset.answer_records():
+        by_user.setdefault(record.user, []).append(record.response_time)
+    medians = {u: float(np.median(ts)) for u, ts in by_user.items()}
+    counts = {u: len(ts) for u, ts in by_user.items()}
+    out = {}
+    for threshold in activity_thresholds:
+        vals = [m for u, m in medians.items() if counts[u] >= threshold]
+        out[threshold] = np.array(vals)
+    return out

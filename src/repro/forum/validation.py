@@ -1,0 +1,108 @@
+"""Dataset integrity validation.
+
+Real dumps arrive with defects — answers timestamped before their
+questions, duplicated post ids, askers answering themselves.  The
+validator reports every violation so loaders and the CLI can fail fast
+(or callers can inspect and repair).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .dataset import ForumDataset
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_dataset"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One integrity violation."""
+
+    code: str
+    thread_id: int
+    detail: str
+
+
+@dataclass
+class ValidationReport:
+    """All violations found in a dataset."""
+
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def by_code(self, code: str) -> list[ValidationIssue]:
+        return [i for i in self.issues if i.code == code]
+
+    def summary(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for issue in self.issues:
+            counts[issue.code] = counts.get(issue.code, 0) + 1
+        return counts
+
+
+def validate_dataset(dataset: ForumDataset) -> ValidationReport:
+    """Check structural invariants; returns a report (never raises).
+
+    Codes produced:
+
+    * ``duplicate_post_id`` — a post id appears more than once;
+    * ``answer_before_question`` — an answer predates its question;
+    * ``self_answer`` — the asker answered their own question;
+    * ``negative_timestamp`` — a post timestamp below zero (should be
+      impossible via the data model, checked for belt and braces);
+    * ``empty_body`` — a post with a completely empty body.
+    """
+    report = ValidationReport()
+    seen_post_ids: dict[int, int] = {}
+    for thread in dataset:
+        for post in thread.posts:
+            if post.post_id in seen_post_ids:
+                report.issues.append(
+                    ValidationIssue(
+                        "duplicate_post_id",
+                        thread.thread_id,
+                        f"post {post.post_id} already seen in thread "
+                        f"{seen_post_ids[post.post_id]}",
+                    )
+                )
+            else:
+                seen_post_ids[post.post_id] = thread.thread_id
+            if post.timestamp < 0:
+                report.issues.append(
+                    ValidationIssue(
+                        "negative_timestamp",
+                        thread.thread_id,
+                        f"post {post.post_id} at t={post.timestamp}",
+                    )
+                )
+            if not post.body.strip():
+                report.issues.append(
+                    ValidationIssue(
+                        "empty_body",
+                        thread.thread_id,
+                        f"post {post.post_id} has no body text",
+                    )
+                )
+        for answer in thread.answers:
+            if answer.timestamp < thread.created_at:
+                report.issues.append(
+                    ValidationIssue(
+                        "answer_before_question",
+                        thread.thread_id,
+                        f"answer {answer.post_id} at {answer.timestamp} "
+                        f"predates question at {thread.created_at}",
+                    )
+                )
+            if answer.author == thread.asker:
+                report.issues.append(
+                    ValidationIssue(
+                        "self_answer",
+                        thread.thread_id,
+                        f"user {answer.author} answered their own question",
+                    )
+                )
+    return report

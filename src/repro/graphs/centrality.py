@@ -1,0 +1,101 @@
+"""Centrality measures on the SLN graphs.
+
+The paper's social features (xv), (xvi), (xviii), (xix) are closeness and
+betweenness centralities.  Footnote 5 specifies the disconnected-graph
+convention: node pairs with no connecting path are simply removed from
+the sums, so closeness is ``(|U| - 1) / sum(dist to reachable nodes)``
+and betweenness only counts source/target pairs in the same component.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable
+
+import numpy as np
+
+from .graph import UndirectedGraph
+
+__all__ = ["closeness_centrality", "betweenness_centrality"]
+
+
+def closeness_centrality(graph: UndirectedGraph) -> dict[Hashable, float]:
+    """Closeness ``l_u = (|U| - 1) / sum_{v reachable} z_uv`` for every node.
+
+    Isolated nodes (no reachable neighbors) get closeness 0.
+    """
+    n = graph.num_nodes
+    out: dict[Hashable, float] = {}
+    for u in graph.nodes():
+        dist = graph.bfs_distances(u)
+        total = sum(dist.values())  # distance to self is 0
+        out[u] = (n - 1) / total if total > 0 else 0.0
+    return out
+
+
+def betweenness_centrality(
+    graph: UndirectedGraph,
+    *,
+    normalized: bool = False,
+    sample_sources: int | None = None,
+    seed: int = 0,
+) -> dict[Hashable, float]:
+    """Betweenness via Brandes' algorithm on the unweighted graph.
+
+    ``b_u = sum_{s != t != u} sigma_st(u) / sigma_st`` over unordered
+    pairs (undirected convention: each pair counted once).  With
+    ``normalized=True`` values are divided by ``(n-1)(n-2)/2``.
+
+    ``sample_sources`` caps the number of BFS sources (Brandes-Pich
+    approximation): dependencies are accumulated from a uniform random
+    subset of sources and rescaled by ``n / |sample|``.  Exact when the
+    cap is None or at least the node count.
+    """
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    index = {v: i for i, v in enumerate(nodes)}
+    adjacency: list[list[int]] = [
+        [index[w] for w in graph.neighbors(v)] for v in nodes
+    ]
+    scale_sources = 1.0
+    if sample_sources is not None and 0 < sample_sources < n:
+        rng = np.random.default_rng(seed)
+        source_ids = rng.choice(n, size=sample_sources, replace=False).tolist()
+        scale_sources = n / sample_sources
+    else:
+        source_ids = range(n)
+    betweenness = np.zeros(n)
+    for s in source_ids:
+        # Single-source shortest paths (BFS) with path counting.
+        stack: list[int] = []
+        predecessors: list[list[int]] = [[] for _ in range(n)]
+        sigma = np.zeros(n)
+        sigma[s] = 1.0
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[s] = 0
+        queue: deque[int] = deque([s])
+        while queue:
+            v = queue.popleft()
+            stack.append(v)
+            dv1 = dist[v] + 1
+            for w in adjacency[v]:
+                if dist[w] < 0:
+                    dist[w] = dv1
+                    queue.append(w)
+                if dist[w] == dv1:
+                    sigma[w] += sigma[v]
+                    predecessors[w].append(v)
+        # Accumulate dependencies.
+        delta = np.zeros(n)
+        while stack:
+            w = stack.pop()
+            coeff = (1.0 + delta[w]) / sigma[w]
+            for v in predecessors[w]:
+                delta[v] += sigma[v] * coeff
+            if w != s:
+                betweenness[w] += delta[w]
+        # Each unordered pair is visited from both endpoints; halve below.
+    scale = 0.5 * scale_sources
+    if normalized and n > 2:
+        scale /= (n - 1) * (n - 2) / 2.0
+    return {v: betweenness[i] * scale for v, i in index.items()}

@@ -1,0 +1,122 @@
+"""A minimal undirected graph used for the Social Learning Network.
+
+Both paper graphs (``G_QA`` and ``G_D``, Sec. II-B) are undirected and
+unweighted with binary adjacency, so a dict-of-sets representation is
+sufficient and fast.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+__all__ = ["UndirectedGraph"]
+
+
+class UndirectedGraph:
+    """Undirected, unweighted graph over hashable node ids."""
+
+    def __init__(self):
+        self._adj: dict[Hashable, set[Hashable]] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_node(self, node: Hashable) -> None:
+        """Add an isolated node (no-op if present)."""
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: Hashable, v: Hashable) -> None:
+        """Add an undirected edge; self-loops are ignored."""
+        if u == v:
+            return
+        self._adj.setdefault(u, set()).add(v)
+        self._adj.setdefault(v, set()).add(u)
+
+    def add_edges(self, edges: Iterable[tuple[Hashable, Hashable]]) -> None:
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- queries -----------------------------------------------------------
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def nodes(self) -> Iterator[Hashable]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[Hashable, Hashable]]:
+        """Each undirected edge exactly once."""
+        seen: set[Hashable] = set()
+        for u, nbrs in self._adj.items():
+            for v in nbrs:
+                if v not in seen:
+                    yield (u, v)
+            seen.add(u)
+
+    def neighbors(self, node: Hashable) -> set[Hashable]:
+        """The neighbor set Gamma_u; raises ``KeyError`` for unknown nodes."""
+        return self._adj[node]
+
+    def degree(self, node: Hashable) -> int:
+        return len(self._adj[node])
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        return u in self._adj and v in self._adj[u]
+
+    def average_degree(self) -> float:
+        """Mean node degree; 0.0 for the empty graph."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_nodes
+
+    # -- traversal ----------------------------------------------------------
+
+    def bfs_distances(self, source: Hashable) -> dict[Hashable, int]:
+        """Shortest-path (hop) distance from ``source`` to every reachable node."""
+        if source not in self._adj:
+            raise KeyError(source)
+        dist = {source: 0}
+        frontier = [source]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for v in self._adj[u]:
+                    if v not in dist:
+                        dist[v] = dist[u] + 1
+                        nxt.append(v)
+            frontier = nxt
+        return dist
+
+    def connected_components(self) -> list[set[Hashable]]:
+        """All connected components, largest first."""
+        seen: set[Hashable] = set()
+        components = []
+        for node in self._adj:
+            if node in seen:
+                continue
+            comp = set(self.bfs_distances(node))
+            seen |= comp
+            components.append(comp)
+        components.sort(key=len, reverse=True)
+        return components
+
+    def subgraph(self, nodes: Iterable[Hashable]) -> "UndirectedGraph":
+        """Induced subgraph on the given nodes."""
+        keep = set(nodes)
+        sub = UndirectedGraph()
+        for u in keep:
+            if u in self._adj:
+                sub.add_node(u)
+                for v in self._adj[u] & keep:
+                    sub.add_edge(u, v)
+        return sub

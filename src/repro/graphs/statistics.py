@@ -1,0 +1,77 @@
+"""Whole-graph statistics for the SLN analysis (paper Fig. 2 discussion).
+
+Degree distributions, local/average clustering and degree assortativity
+quantify the structure the paper's Fig. 2 visualizes qualitatively.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+import numpy as np
+
+from .graph import UndirectedGraph
+
+__all__ = [
+    "degree_histogram",
+    "local_clustering",
+    "average_clustering",
+    "degree_assortativity",
+]
+
+
+def degree_histogram(graph: UndirectedGraph) -> np.ndarray:
+    """``h[d]`` = number of nodes with degree ``d`` (length max degree + 1)."""
+    degrees = [graph.degree(v) for v in graph.nodes()]
+    if not degrees:
+        return np.zeros(1, dtype=np.int64)
+    return np.bincount(np.array(degrees, dtype=np.int64))
+
+
+def local_clustering(graph: UndirectedGraph, node: Hashable) -> float:
+    """Fraction of the node's neighbor pairs that are themselves linked.
+
+    Zero for nodes of degree < 2 (the networkx convention).
+    """
+    neighbors = list(graph.neighbors(node))
+    k = len(neighbors)
+    if k < 2:
+        return 0.0
+    links = 0
+    for i, u in enumerate(neighbors):
+        u_neighbors = graph.neighbors(u)
+        for v in neighbors[i + 1 :]:
+            if v in u_neighbors:
+                links += 1
+    return 2.0 * links / (k * (k - 1))
+
+
+def average_clustering(graph: UndirectedGraph) -> float:
+    """Mean local clustering over all nodes; 0.0 for the empty graph."""
+    nodes = list(graph.nodes())
+    if not nodes:
+        return 0.0
+    return float(np.mean([local_clustering(graph, v) for v in nodes]))
+
+
+def degree_assortativity(graph: UndirectedGraph) -> float:
+    """Pearson correlation of degrees across edges (Newman's r).
+
+    Positive when high-degree nodes attach to each other; 0.0 when the
+    graph has no edges or the degrees are constant.
+    """
+    x, y = [], []
+    for u, v in graph.edges():
+        du, dv = graph.degree(u), graph.degree(v)
+        # Each undirected edge contributes both orientations.
+        x.extend((du, dv))
+        y.extend((dv, du))
+    if not x:
+        return 0.0
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    sx = x.std()
+    sy = y.std()
+    if sx == 0.0 or sy == 0.0:
+        return 0.0
+    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))

@@ -1,0 +1,102 @@
+"""Machine-learning substrate: numpy MLPs, optimizers, metrics, CV.
+
+Everything the paper's predictors need that would otherwise come from
+TensorFlow/scikit-learn, implemented from scratch on numpy.
+"""
+
+from .activations import (
+    Activation,
+    Identity,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    get_activation,
+    sigmoid,
+    softplus,
+)
+from .calibration import PlattCalibrator, brier_score, reliability_curve
+from .crossval import (
+    kfold_indices,
+    stratified_kfold_indices,
+    train_test_split_indices,
+)
+from .initializers import get_initializer, glorot_uniform, he_normal
+from .logistic import LogisticRegression
+from .losses import (
+    BinaryCrossEntropy,
+    Loss,
+    MeanSquaredError,
+    PoissonNLL,
+    get_loss,
+)
+from .metrics import (
+    auc_score,
+    mae,
+    pearson_correlation,
+    rmse,
+    roc_curve,
+    spearman_correlation,
+)
+from .network import MLP, Dense, FitResult
+from .optimizers import SGD, Adam, Optimizer, get_optimizer
+from .ranking import (
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from .scaler import StandardScaler
+from .significance import PairedTestResult, bootstrap_ci, paired_t_test
+from .tuning import GridSearchResult, expand_grid, grid_search
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "ReLU",
+    "Sigmoid",
+    "Softplus",
+    "Tanh",
+    "get_activation",
+    "sigmoid",
+    "softplus",
+    "PlattCalibrator",
+    "brier_score",
+    "reliability_curve",
+    "kfold_indices",
+    "stratified_kfold_indices",
+    "train_test_split_indices",
+    "get_initializer",
+    "glorot_uniform",
+    "he_normal",
+    "LogisticRegression",
+    "BinaryCrossEntropy",
+    "Loss",
+    "MeanSquaredError",
+    "PoissonNLL",
+    "get_loss",
+    "auc_score",
+    "mae",
+    "pearson_correlation",
+    "rmse",
+    "roc_curve",
+    "spearman_correlation",
+    "MLP",
+    "Dense",
+    "FitResult",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "get_optimizer",
+    "mean_reciprocal_rank",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+    "StandardScaler",
+    "PairedTestResult",
+    "bootstrap_ci",
+    "paired_t_test",
+    "GridSearchResult",
+    "expand_grid",
+    "grid_search",
+]

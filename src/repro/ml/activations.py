@@ -1,0 +1,140 @@
+"""Activation functions with forward and backward passes.
+
+Each activation is a stateless object exposing ``forward(z)`` and
+``backward(z, grad_out)`` where ``z`` is the pre-activation input that was
+given to ``forward`` and ``grad_out`` is the gradient of the loss with
+respect to the activation output.  ``backward`` returns the gradient with
+respect to ``z``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Activation",
+    "Identity",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softplus",
+    "get_activation",
+]
+
+
+class Activation:
+    """Base class for activations."""
+
+    name = "base"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class Identity(Activation):
+    """Linear (no-op) activation."""
+
+    name = "identity"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return z
+
+    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+class ReLU(Activation):
+    """Rectified linear unit: ``max(0, z)``."""
+
+    name = "relu"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.maximum(z, 0.0)
+
+    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * (z > 0.0)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent activation."""
+
+    name = "tanh"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return np.tanh(z)
+
+    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        t = np.tanh(z)
+        return grad_out * (1.0 - t * t)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid, computed stably for large ``|z|``."""
+
+    name = "sigmoid"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return sigmoid(z)
+
+    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        s = sigmoid(z)
+        return grad_out * s * (1.0 - s)
+
+
+class Softplus(Activation):
+    """Softplus ``log(1 + exp(z))`` — a smooth, strictly positive output.
+
+    Used for point-process rate parameters that must stay positive.
+    """
+
+    name = "softplus"
+
+    def forward(self, z: np.ndarray) -> np.ndarray:
+        return softplus(z)
+
+    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * sigmoid(z)
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    z = np.asarray(z, dtype=float)
+    out = np.empty_like(z)
+    pos = z >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+    ez = np.exp(z[~pos])
+    out[~pos] = ez / (1.0 + ez)
+    return out
+
+
+def softplus(z: np.ndarray) -> np.ndarray:
+    """Numerically stable ``log(1 + exp(z))``."""
+    z = np.asarray(z, dtype=float)
+    return np.maximum(z, 0.0) + np.log1p(np.exp(-np.abs(z)))
+
+
+_REGISTRY: dict[str, type[Activation]] = {
+    cls.name: cls for cls in (Identity, ReLU, Tanh, Sigmoid, Softplus)
+}
+
+
+def get_activation(name_or_obj: str | Activation) -> Activation:
+    """Resolve an activation by name or pass an instance through.
+
+    Raises ``ValueError`` on an unknown name.
+    """
+    if isinstance(name_or_obj, Activation):
+        return name_or_obj
+    try:
+        return _REGISTRY[name_or_obj]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(
+            f"unknown activation {name_or_obj!r}; known: {known}"
+        ) from None

@@ -1,0 +1,94 @@
+"""Probability calibration for the answer classifier.
+
+The router's eligibility threshold ``epsilon`` (paper Sec. V) only
+means "probability" if the classifier is calibrated.  This module
+provides Platt scaling (a logistic recalibration of scores), a binned
+reliability curve, and the Brier score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .activations import sigmoid
+
+__all__ = ["PlattCalibrator", "brier_score", "reliability_curve"]
+
+
+def brier_score(y_true: np.ndarray, y_prob: np.ndarray) -> float:
+    """Mean squared error between outcomes and predicted probabilities."""
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_prob = np.asarray(y_prob, dtype=float).ravel()
+    if y_true.shape != y_prob.shape:
+        raise ValueError("shapes differ")
+    if y_true.size == 0:
+        raise ValueError("empty inputs")
+    if np.any((y_prob < 0) | (y_prob > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    return float(np.mean((y_prob - y_true) ** 2))
+
+
+def reliability_curve(
+    y_true: np.ndarray, y_prob: np.ndarray, n_bins: int = 10
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Binned (mean predicted, observed frequency, count) triplets.
+
+    Empty bins are dropped.  A calibrated classifier has observed
+    frequency tracking mean prediction along the diagonal.
+    """
+    if n_bins < 2:
+        raise ValueError("n_bins must be >= 2")
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_prob = np.asarray(y_prob, dtype=float).ravel()
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    which = np.clip(np.digitize(y_prob, edges) - 1, 0, n_bins - 1)
+    mean_pred, observed, counts = [], [], []
+    for b in range(n_bins):
+        mask = which == b
+        if not mask.any():
+            continue
+        mean_pred.append(float(y_prob[mask].mean()))
+        observed.append(float(y_true[mask].mean()))
+        counts.append(int(mask.sum()))
+    return np.array(mean_pred), np.array(observed), np.array(counts)
+
+
+class PlattCalibrator:
+    """Platt scaling: fit ``sigmoid(a * logit(p) + b)`` on held-out data."""
+
+    def __init__(self, max_iter: int = 500, learning_rate: float = 0.1):
+        self.max_iter = max_iter
+        self.learning_rate = learning_rate
+        self.a_: float | None = None
+        self.b_: float | None = None
+
+    @staticmethod
+    def _logit(p: np.ndarray) -> np.ndarray:
+        p = np.clip(np.asarray(p, dtype=float), 1e-9, 1 - 1e-9)
+        return np.log(p / (1 - p))
+
+    def fit(self, y_prob: np.ndarray, y_true: np.ndarray) -> "PlattCalibrator":
+        y_true = np.asarray(y_true, dtype=float).ravel()
+        scores = self._logit(y_prob)
+        if scores.shape != y_true.shape:
+            raise ValueError("shapes differ")
+        if not np.all(np.isin(y_true, (0.0, 1.0))):
+            raise ValueError("y_true must be binary")
+        a, b = 1.0, 0.0
+        n = len(y_true)
+        for _ in range(self.max_iter):
+            z = a * scores + b
+            p = sigmoid(z)
+            residual = (p - y_true) / n
+            grad_a = float(residual @ scores)
+            grad_b = float(residual.sum())
+            a -= self.learning_rate * grad_a
+            b -= self.learning_rate * grad_b
+        self.a_, self.b_ = float(a), float(b)
+        return self
+
+    def transform(self, y_prob: np.ndarray) -> np.ndarray:
+        """Calibrated probabilities."""
+        if self.a_ is None:
+            raise RuntimeError("calibrator is not fitted")
+        return sigmoid(self.a_ * self._logit(y_prob) + self.b_)

@@ -1,0 +1,97 @@
+"""Cross-validation splitters.
+
+The paper's protocol (Sec. IV-A): 5-fold stratified cross validation where
+each *user's* answers are allocated uniformly across folds (stratified by
+user), repeated 5 times for 25 iterations total.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Hashable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["kfold_indices", "stratified_kfold_indices", "train_test_split_indices"]
+
+
+def kfold_indices(
+    n: int, n_folds: int, seed: int | np.random.Generator = 0
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(train_idx, test_idx)`` for plain shuffled k-fold CV."""
+    if n_folds < 2:
+        raise ValueError("n_folds must be >= 2")
+    if n < n_folds:
+        raise ValueError("need at least one sample per fold")
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    order = rng.permutation(n)
+    folds = np.array_split(order, n_folds)
+    for k in range(n_folds):
+        test = np.sort(folds[k])
+        train = np.sort(np.concatenate([folds[j] for j in range(n_folds) if j != k]))
+        yield train, test
+
+
+def stratified_kfold_indices(
+    groups: Sequence[Hashable],
+    n_folds: int,
+    seed: int | np.random.Generator = 0,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Stratified k-fold: each group's samples spread uniformly over folds.
+
+    ``groups[i]`` is the stratification key of sample ``i`` (the paper uses
+    the answering user, so heavy answerers appear in every fold).  Groups
+    with fewer samples than folds are placed on a rotating fold offset so
+    that rare users still land in test sets overall.
+    """
+    if n_folds < 2:
+        raise ValueError("n_folds must be >= 2")
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    by_group: dict[Hashable, list[int]] = defaultdict(list)
+    for i, g in enumerate(groups):
+        by_group[g].append(i)
+    fold_members: list[list[int]] = [[] for _ in range(n_folds)]
+    offset = 0
+    # Deterministic group order, then shuffle within each group.
+    for g in sorted(by_group, key=repr):
+        idx = np.array(by_group[g])
+        rng.shuffle(idx)
+        for j, sample in enumerate(idx):
+            fold_members[(j + offset) % n_folds].append(int(sample))
+        offset += 1
+    for k in range(n_folds):
+        test = np.sort(np.array(fold_members[k], dtype=int))
+        train = np.sort(
+            np.concatenate(
+                [np.array(fold_members[j], dtype=int) for j in range(n_folds) if j != k]
+            )
+        )
+        if len(test) == 0 or len(train) == 0:
+            raise ValueError("a fold ended up empty; too few samples for n_folds")
+        yield train, test
+
+
+def train_test_split_indices(
+    n: int, test_fraction: float = 0.2, seed: int | np.random.Generator = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Single shuffled split; returns ``(train_idx, test_idx)``."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = (
+        seed
+        if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise ValueError("test_fraction leaves no training data")
+    return np.sort(order[n_test:]), np.sort(order[:n_test])

@@ -1,0 +1,33 @@
+"""Weight initialization schemes for dense layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "get_initializer"]
+
+
+def glorot_uniform(
+    in_dim: int, out_dim: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialization — suits tanh/sigmoid layers."""
+    limit = np.sqrt(6.0 / (in_dim + out_dim))
+    return rng.uniform(-limit, limit, size=(in_dim, out_dim))
+
+
+def he_normal(in_dim: int, out_dim: int, rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization — suits ReLU layers."""
+    std = np.sqrt(2.0 / in_dim)
+    return rng.normal(0.0, std, size=(in_dim, out_dim))
+
+
+_REGISTRY = {"glorot_uniform": glorot_uniform, "he_normal": he_normal}
+
+
+def get_initializer(name: str):
+    """Look up an initializer function by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown initializer {name!r}; known: {known}") from None

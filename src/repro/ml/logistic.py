@@ -1,0 +1,96 @@
+"""Logistic regression classifier.
+
+The paper (Sec. II-A.1) deliberately uses a *linear* model for the
+answer-probability task ``a_uq`` to avoid overfitting the extremely sparse
+user-question matrix.  This implementation minimizes the L2-regularized
+negative log likelihood with full-batch Adam, which is deterministic given
+the data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .activations import sigmoid
+from .optimizers import Adam
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression:
+    """Binary logistic regression: ``P(y=1|x) = sigmoid(x^T beta + b)``.
+
+    Parameters
+    ----------
+    l2:
+        L2 penalty on the coefficients (not the intercept).
+    learning_rate, max_iter, tol:
+        Full-batch Adam settings; training stops early when the loss
+        improvement falls below ``tol``.
+    """
+
+    def __init__(
+        self,
+        l2: float = 1e-3,
+        learning_rate: float = 0.05,
+        max_iter: int = 2000,
+        tol: float = 1e-8,
+    ):
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        self.l2 = l2
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.tol = tol
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.loss_history_: list[float] = []
+
+    def _check_fitted(self) -> None:
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y lengths differ")
+        if not np.all(np.isin(y, (0.0, 1.0))):
+            raise ValueError("y must be binary 0/1")
+        n, d = x.shape
+        beta = np.zeros(d)
+        intercept = np.zeros(1)
+        opt = Adam(learning_rate=self.learning_rate)
+        self.loss_history_ = []
+        prev_loss = np.inf
+        for _ in range(self.max_iter):
+            z = x @ beta + intercept[0]
+            p = sigmoid(z)
+            # Mean NLL with a stable formulation log(1+e^z) - y z.
+            nll = float(
+                np.mean(np.maximum(z, 0) + np.log1p(np.exp(-np.abs(z))) - y * z)
+            )
+            loss = nll + 0.5 * self.l2 * float(beta @ beta) / n
+            self.loss_history_.append(loss)
+            residual = (p - y) / n
+            grad_beta = x.T @ residual + self.l2 * beta / n
+            grad_intercept = np.array([residual.sum()])
+            opt.step([beta, intercept], [grad_beta, grad_intercept])
+            if abs(prev_loss - loss) < self.tol:
+                break
+            prev_loss = loss
+        self.coef_ = beta
+        self.intercept_ = float(intercept[0])
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row of ``x``."""
+        self._check_fitted()
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return sigmoid(x @ self.coef_ + self.intercept_)
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions at the given probability threshold."""
+        return (self.predict_proba(x) >= threshold).astype(int)

@@ -1,0 +1,94 @@
+"""Loss functions with value and gradient.
+
+Each loss exposes ``value(pred, target)`` returning a scalar mean loss and
+``gradient(pred, target)`` returning ``dLoss/dpred`` with the same shape as
+``pred`` (already divided by the batch size, so optimizers see the gradient
+of the *mean* loss).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Loss", "MeanSquaredError", "BinaryCrossEntropy", "PoissonNLL", "get_loss"]
+
+_EPS = 1e-12
+
+
+class Loss:
+    """Base class for losses."""
+
+    name = "base"
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class MeanSquaredError(Loss):
+    """Mean squared error, ``mean((pred - target)^2)``."""
+
+    name = "mse"
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        diff = np.asarray(pred, dtype=float) - np.asarray(target, dtype=float)
+        return float(np.mean(diff * diff))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        pred = np.asarray(pred, dtype=float)
+        target = np.asarray(target, dtype=float)
+        return 2.0 * (pred - target) / pred.size
+
+
+class BinaryCrossEntropy(Loss):
+    """Binary cross entropy on probabilities in ``(0, 1)``."""
+
+    name = "bce"
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        p = np.clip(np.asarray(pred, dtype=float), _EPS, 1.0 - _EPS)
+        t = np.asarray(target, dtype=float)
+        return float(-np.mean(t * np.log(p) + (1.0 - t) * np.log(1.0 - p)))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        p = np.clip(np.asarray(pred, dtype=float), _EPS, 1.0 - _EPS)
+        t = np.asarray(target, dtype=float)
+        return (p - t) / (p * (1.0 - p)) / p.size
+
+
+class PoissonNLL(Loss):
+    """Poisson negative log likelihood for positive rate predictions.
+
+    ``value = mean(pred - target * log(pred))`` (dropping the constant
+    ``log(target!)`` term).
+    """
+
+    name = "poisson_nll"
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        lam = np.clip(np.asarray(pred, dtype=float), _EPS, None)
+        t = np.asarray(target, dtype=float)
+        return float(np.mean(lam - t * np.log(lam)))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        lam = np.clip(np.asarray(pred, dtype=float), _EPS, None)
+        t = np.asarray(target, dtype=float)
+        return (1.0 - t / lam) / lam.size
+
+
+_REGISTRY: dict[str, type[Loss]] = {
+    cls.name: cls for cls in (MeanSquaredError, BinaryCrossEntropy, PoissonNLL)
+}
+
+
+def get_loss(name_or_obj: str | Loss) -> Loss:
+    """Resolve a loss by name or pass an instance through."""
+    if isinstance(name_or_obj, Loss):
+        return name_or_obj
+    try:
+        return _REGISTRY[name_or_obj]()
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown loss {name_or_obj!r}; known: {known}") from None

@@ -1,0 +1,130 @@
+"""Evaluation metrics used in the paper (Sec. IV-A) and supporting stats.
+
+The paper evaluates the binary task with AUC (because of class imbalance)
+and the two regression tasks with RMSE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "auc_score",
+    "rmse",
+    "mae",
+    "pearson_correlation",
+    "spearman_correlation",
+    "roc_curve",
+]
+
+
+def _rankdata(values: np.ndarray) -> np.ndarray:
+    """Ranks starting at 1 with ties given their average rank."""
+    values = np.asarray(values, dtype=float)
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=float)
+    sorted_vals = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        avg_rank = (i + j) / 2.0 + 1.0
+        ranks[order[i : j + 1]] = avg_rank
+        i = j + 1
+    return ranks
+
+
+def auc_score(y_true: np.ndarray, y_score: np.ndarray) -> float:
+    """Area under the ROC curve via the Mann-Whitney rank statistic.
+
+    Handles ties by average ranking.  Requires at least one positive and
+    one negative sample.
+    """
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_score = np.asarray(y_score, dtype=float).ravel()
+    if y_true.shape != y_score.shape:
+        raise ValueError("y_true and y_score shapes differ")
+    n_pos = int(np.sum(y_true == 1))
+    n_neg = int(np.sum(y_true == 0))
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC needs both positive and negative samples")
+    if n_pos + n_neg != len(y_true):
+        raise ValueError("y_true must be binary 0/1")
+    ranks = _rankdata(y_score)
+    pos_rank_sum = float(ranks[y_true == 1].sum())
+    return (pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def roc_curve(
+    y_true: np.ndarray, y_score: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """False/true positive rates at every distinct score threshold.
+
+    Returns ``(fpr, tpr, thresholds)`` with thresholds descending.
+    """
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_score = np.asarray(y_score, dtype=float).ravel()
+    order = np.argsort(-y_score, kind="mergesort")
+    y_true = y_true[order]
+    y_score = y_score[order]
+    distinct = np.where(np.diff(y_score))[0]
+    idx = np.r_[distinct, len(y_true) - 1]
+    tps = np.cumsum(y_true)[idx]
+    fps = (idx + 1) - tps
+    n_pos = y_true.sum()
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC needs both positive and negative samples")
+    tpr = np.r_[0.0, tps / n_pos]
+    fpr = np.r_[0.0, fps / n_neg]
+    thresholds = np.r_[np.inf, y_score[idx]]
+    return fpr, tpr, thresholds
+
+
+def rmse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root mean squared error (paper Sec. IV-A metric for v and r)."""
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shapes differ")
+    if y_true.size == 0:
+        raise ValueError("rmse of empty arrays is undefined")
+    diff = y_true - y_pred
+    return float(np.sqrt(np.mean(diff * diff)))
+
+
+def mae(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError("shapes differ")
+    if y_true.size == 0:
+        raise ValueError("mae of empty arrays is undefined")
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient; 0.0 when either side is constant."""
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape != y.shape:
+        raise ValueError("shapes differ")
+    if x.size < 2:
+        raise ValueError("correlation needs at least 2 points")
+    xc = x - x.mean()
+    yc = y - y.mean()
+    denom = np.sqrt((xc * xc).sum() * (yc * yc).sum())
+    if denom == 0.0:
+        return 0.0
+    return float((xc * yc).sum() / denom)
+
+
+def spearman_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation (Pearson on average ranks)."""
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape != y.shape:
+        raise ValueError("shapes differ")
+    return pearson_correlation(_rankdata(x), _rankdata(y))

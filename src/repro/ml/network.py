@@ -1,0 +1,257 @@
+"""Fully-connected neural network with manual backpropagation.
+
+This implements the network of paper Eq. (1): a stack of dense layers
+``h_{l+1} = sigma(W_l^T h_l + b_l)``, trained with minibatch gradient
+descent.  The network exposes raw ``forward``/``backward`` so that models
+with custom likelihoods (the point process of Sec. II-A.3) can inject
+their own output gradients, plus a convenience ``fit`` for standard
+regression losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .activations import Activation, get_activation
+from .initializers import get_initializer
+from .losses import Loss, get_loss
+from .optimizers import Optimizer, get_optimizer
+
+__all__ = ["Dense", "MLP", "FitResult"]
+
+
+class Dense:
+    """A single dense layer with an activation.
+
+    Caches the forward inputs needed for the backward pass; ``backward``
+    must be called with the same batch that was last passed to ``forward``.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        activation: str | Activation = "identity",
+        *,
+        rng: np.random.Generator,
+        initializer: str | None = None,
+    ):
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError("layer dimensions must be positive")
+        self.activation = get_activation(activation)
+        if initializer is None:
+            initializer = (
+                "he_normal" if self.activation.name == "relu" else "glorot_uniform"
+            )
+        init = get_initializer(initializer)
+        self.weight = init(in_dim, out_dim, rng)
+        self.bias = np.zeros(out_dim)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._input: np.ndarray | None = None
+        self._pre_activation: np.ndarray | None = None
+
+    @property
+    def in_dim(self) -> int:
+        return self.weight.shape[0]
+
+    @property
+    def out_dim(self) -> int:
+        return self.weight.shape[1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        self._input = x
+        self._pre_activation = x @ self.weight + self.bias
+        return self.activation.forward(self._pre_activation)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None or self._pre_activation is None:
+            raise RuntimeError("backward called before forward")
+        grad_z = self.activation.backward(self._pre_activation, grad_out)
+        self.grad_weight = self._input.T @ grad_z
+        self.grad_bias = grad_z.sum(axis=0)
+        return grad_z @ self.weight.T
+
+
+@dataclass
+class FitResult:
+    """Training history returned by ``MLP.fit``."""
+
+    loss_history: list[float] = field(default_factory=list)
+    validation_history: list[float] = field(default_factory=list)
+    best_epoch: int | None = None
+
+    @property
+    def final_loss(self) -> float:
+        return self.loss_history[-1] if self.loss_history else float("nan")
+
+
+class MLP:
+    """Multi-layer perceptron over 2-D inputs ``(batch, features)``.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes ``[in_dim, h1, ..., out_dim]``; at least two entries.
+    hidden_activation:
+        Activation for every hidden layer (paper uses ReLU for the vote
+        network and tanh for the excitation network).
+    output_activation:
+        Activation on the final layer (paper Eq. (1) applies sigma at the
+        output too; the point-process excitation uses ReLU there, and we
+        default to identity for plain regression).
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        *,
+        hidden_activation: str | Activation = "relu",
+        output_activation: str | Activation = "identity",
+        seed: int | np.random.Generator = 0,
+        l2: float = 0.0,
+    ):
+        if len(layer_sizes) < 2:
+            raise ValueError("layer_sizes needs at least input and output dims")
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self.l2 = l2
+        self.layers: list[Dense] = []
+        for i in range(len(layer_sizes) - 1):
+            is_last = i == len(layer_sizes) - 2
+            act = output_activation if is_last else hidden_activation
+            self.layers.append(
+                Dense(layer_sizes[i], layer_sizes[i + 1], act, rng=rng)
+            )
+
+    @property
+    def in_dim(self) -> int:
+        return self.layers[0].in_dim
+
+    @property
+    def out_dim(self) -> int:
+        return self.layers[-1].out_dim
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = np.asarray(x, dtype=float)
+        if out.ndim != 2:
+            raise ValueError("MLP input must be 2-D (batch, features)")
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate ``dLoss/doutput``; returns ``dLoss/dinput``.
+
+        Layer gradients are stored on each layer and include the L2 term.
+        """
+        grad = np.asarray(grad_out, dtype=float)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        if self.l2 > 0.0:
+            for layer in self.layers:
+                layer.grad_weight += self.l2 * layer.weight
+        return grad
+
+    def parameters(self) -> list[np.ndarray]:
+        params: list[np.ndarray] = []
+        for layer in self.layers:
+            params.extend((layer.weight, layer.bias))
+        return params
+
+    def gradients(self) -> list[np.ndarray]:
+        grads: list[np.ndarray] = []
+        for layer in self.layers:
+            grads.extend((layer.grad_weight, layer.grad_bias))
+        return grads
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; squeezes a single-output network to shape (batch,)."""
+        out = self.forward(np.atleast_2d(np.asarray(x, dtype=float)))
+        return out[:, 0] if out.shape[1] == 1 else out
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        loss: str | Loss = "mse",
+        optimizer: str | Optimizer = "adam",
+        epochs: int = 200,
+        batch_size: int = 32,
+        seed: int = 0,
+        validation_fraction: float = 0.0,
+        patience: int = 20,
+        verbose: bool = False,
+    ) -> FitResult:
+        """Train with minibatch gradient descent on a standard loss.
+
+        With ``validation_fraction > 0`` a held-out slice is tracked
+        each epoch; training stops after ``patience`` epochs without
+        improvement and the best-epoch weights are restored.
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y batch sizes differ")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if not 0.0 <= validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in [0, 1)")
+        loss_fn = get_loss(loss)
+        opt = get_optimizer(optimizer)
+        rng = np.random.default_rng(seed)
+        x_val = y_val = None
+        if validation_fraction > 0.0:
+            n_val = max(1, int(round(x.shape[0] * validation_fraction)))
+            if n_val >= x.shape[0]:
+                raise ValueError("validation split leaves no training data")
+            order = rng.permutation(x.shape[0])
+            val_idx, train_idx = order[:n_val], order[n_val:]
+            x_val, y_val = x[val_idx], y[val_idx]
+            x, y = x[train_idx], y[train_idx]
+        n = x.shape[0]
+        result = FitResult()
+        params = self.parameters()
+        best_val = np.inf
+        best_params: list[np.ndarray] | None = None
+        stale = 0
+        for epoch in range(epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                pred = self.forward(x[idx])
+                batch_loss = loss_fn.value(pred, y[idx])
+                self.backward(loss_fn.gradient(pred, y[idx]))
+                opt.step(params, self.gradients())
+                epoch_loss += batch_loss * len(idx)
+            result.loss_history.append(epoch_loss / n)
+            if x_val is not None:
+                val_loss = loss_fn.value(self.forward(x_val), y_val)
+                result.validation_history.append(val_loss)
+                if val_loss < best_val - 1e-12:
+                    best_val = val_loss
+                    best_params = [p.copy() for p in params]
+                    result.best_epoch = epoch
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= patience:
+                        break
+            if verbose and (epoch % max(1, epochs // 10) == 0):
+                print(f"epoch {epoch}: loss={result.loss_history[-1]:.6f}")
+        if best_params is not None:
+            for p, best in zip(params, best_params):
+                p[...] = best
+        return result

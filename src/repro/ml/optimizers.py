@@ -1,0 +1,116 @@
+"""First-order optimizers operating on lists of parameter arrays.
+
+An optimizer is constructed once and then repeatedly fed matching lists of
+parameters and gradients via ``step(params, grads)``; parameters are updated
+in place.  State (momenta, Adam moments) is keyed by position in the list, so
+the same parameter list must be passed on every step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "Adam", "get_optimizer"]
+
+
+class Optimizer:
+    """Base class for optimizers."""
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear accumulated state (momenta etc.)."""
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads length mismatch")
+        if self.momentum == 0.0:
+            for p, g in zip(params, grads):
+                p -= self.learning_rate * g
+            return
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for v, p, g in zip(self._velocity, params, grads):
+            v *= self.momentum
+            v -= self.learning_rate * g
+            p += v
+
+    def reset(self) -> None:
+        self._velocity = None
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015) with bias correction.
+
+    The paper trains both its vote network and the point-process excitation
+    network with Adam (via TensorFlow); this is a faithful numpy port.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if len(params) != len(grads):
+            raise ValueError("params and grads length mismatch")
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        # Fold both bias corrections into a single step size.
+        alpha = self.learning_rate * np.sqrt(1.0 - b2**self._t) / (1.0 - b1**self._t)
+        for m, v, p, g in zip(self._m, self._v, params, grads):
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g * g
+            p -= alpha * m / (np.sqrt(v) + self.epsilon)
+
+    def reset(self) -> None:
+        self._m = None
+        self._v = None
+        self._t = 0
+
+
+def get_optimizer(name_or_obj: str | Optimizer, **kwargs) -> Optimizer:
+    """Resolve an optimizer by name (``"sgd"``/``"adam"``) or instance."""
+    if isinstance(name_or_obj, Optimizer):
+        return name_or_obj
+    registry = {"sgd": SGD, "adam": Adam}
+    try:
+        return registry[name_or_obj](**kwargs)
+    except KeyError:
+        known = ", ".join(sorted(registry))
+        raise ValueError(
+            f"unknown optimizer {name_or_obj!r}; known: {known}"
+        ) from None

@@ -1,0 +1,72 @@
+"""Ranking metrics for the question-routing evaluation.
+
+The routing system (paper Sec. V) produces a ranking of candidate
+answerers per question; these metrics quantify how well a ranking
+surfaces the users who actually answered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["precision_at_k", "recall_at_k", "ndcg_at_k", "mean_reciprocal_rank"]
+
+
+def _validate(ranked, relevant, k=None):
+    ranked = list(ranked)
+    relevant = set(relevant)
+    if k is not None and k < 1:
+        raise ValueError("k must be >= 1")
+    return ranked, relevant
+
+
+def precision_at_k(ranked: list, relevant: set, k: int) -> float:
+    """Fraction of the top-k ranked items that are relevant."""
+    ranked, relevant = _validate(ranked, relevant, k)
+    if not ranked:
+        return 0.0
+    top = ranked[:k]
+    return sum(1 for item in top if item in relevant) / k
+
+
+def recall_at_k(ranked: list, relevant: set, k: int) -> float:
+    """Fraction of relevant items appearing in the top k."""
+    ranked, relevant = _validate(ranked, relevant, k)
+    if not relevant:
+        raise ValueError("recall undefined with no relevant items")
+    top = ranked[:k]
+    return sum(1 for item in top if item in relevant) / len(relevant)
+
+
+def ndcg_at_k(ranked: list, relevant: set, k: int) -> float:
+    """Normalized discounted cumulative gain with binary relevance."""
+    ranked, relevant = _validate(ranked, relevant, k)
+    if not relevant:
+        raise ValueError("NDCG undefined with no relevant items")
+    gains = np.array(
+        [1.0 if item in relevant else 0.0 for item in ranked[:k]]
+    )
+    discounts = 1.0 / np.log2(np.arange(2, len(gains) + 2))
+    dcg = float((gains * discounts).sum())
+    ideal_hits = min(len(relevant), k)
+    ideal = float((1.0 / np.log2(np.arange(2, ideal_hits + 2))).sum())
+    return dcg / ideal if ideal > 0 else 0.0
+
+
+def mean_reciprocal_rank(rankings: list[tuple[list, set]]) -> float:
+    """Mean of ``1 / rank`` of the first relevant item per query.
+
+    Queries whose ranking contains no relevant item contribute 0.
+    """
+    if not rankings:
+        raise ValueError("need at least one ranking")
+    total = 0.0
+    for ranked, relevant in rankings:
+        relevant = set(relevant)
+        rr = 0.0
+        for position, item in enumerate(ranked, start=1):
+            if item in relevant:
+                rr = 1.0 / position
+                break
+        total += rr
+    return total / len(rankings)

@@ -1,0 +1,56 @@
+"""Feature standardization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler"]
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance.
+
+    Constant features are left centered but not scaled (scale forced to 1)
+    so that downstream models never see NaN/inf.
+
+    ``clip`` bounds transformed values to ``[-clip, +clip]`` standard
+    deviations — a guard against wild extrapolation when a test point
+    lies far outside the training range.
+    """
+
+    def __init__(self, clip: float | None = None):
+        if clip is not None and clip <= 0:
+            raise ValueError("clip must be positive when given")
+        self.clip = clip
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2:
+            raise ValueError("x must be 2-D")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit scaler on empty data")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        x = np.asarray(x, dtype=float)
+        z = (x - self.mean_) / self.scale_
+        if self.clip is not None:
+            z = np.clip(z, -self.clip, self.clip)
+        return z
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        x = np.asarray(x, dtype=float)
+        return x * self.scale_ + self.mean_

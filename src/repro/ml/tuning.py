@@ -1,0 +1,71 @@
+"""Exhaustive grid search over hyperparameter configurations.
+
+The paper tunes K by sweeping it (Fig. 5); this utility generalizes
+that pattern: give it a parameter grid and a scoring callable, get back
+every configuration's score and the best one.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+
+__all__ = ["GridSearchResult", "grid_search", "expand_grid"]
+
+
+def expand_grid(grid: Mapping[str, Sequence]) -> list[dict]:
+    """All combinations of a ``{name: [values...]}`` grid, in stable order."""
+    if not grid:
+        raise ValueError("grid must have at least one parameter")
+    names = list(grid)
+    for name in names:
+        if not grid[name]:
+            raise ValueError(f"parameter {name!r} has no candidate values")
+    combos = itertools.product(*(grid[name] for name in names))
+    return [dict(zip(names, combo)) for combo in combos]
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """Scores for every configuration plus the winner."""
+
+    scores: tuple[tuple[dict, float], ...]
+    higher_is_better: bool
+
+    @property
+    def best_params(self) -> dict:
+        return self.best[0]
+
+    @property
+    def best_score(self) -> float:
+        return self.best[1]
+
+    @property
+    def best(self) -> tuple[dict, float]:
+        key = (lambda kv: -kv[1]) if self.higher_is_better else (lambda kv: kv[1])
+        return min(self.scores, key=key)
+
+    def ranked(self) -> list[tuple[dict, float]]:
+        """Configurations best-first."""
+        key = (lambda kv: -kv[1]) if self.higher_is_better else (lambda kv: kv[1])
+        return sorted(self.scores, key=key)
+
+
+def grid_search(
+    grid: Mapping[str, Sequence],
+    evaluate: Callable[..., float],
+    *,
+    higher_is_better: bool = True,
+) -> GridSearchResult:
+    """Score every grid point with ``evaluate(**params)``.
+
+    ``evaluate`` failures are not caught — a scoring error is a bug in
+    the caller's harness, not a signal to skip silently.
+    """
+    scores = []
+    for params in expand_grid(grid):
+        scores.append((params, float(evaluate(**params))))
+    return GridSearchResult(
+        scores=tuple(scores), higher_is_better=higher_is_better
+    )

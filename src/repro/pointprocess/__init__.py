@@ -1,0 +1,27 @@
+"""Point-process substrate for the response-timing model."""
+
+from .exponential import (
+    conditional_expected_time,
+    expected_response_time,
+    integrated_rate,
+    log_likelihood,
+    rate,
+)
+from .hawkes import HawkesThreadModel, hawkes_intensity, hawkes_log_likelihood
+from .model import ExcitationPointProcess, PointProcessFitResult
+from .simulate import simulate_event_times, simulate_first_event_time
+
+__all__ = [
+    "conditional_expected_time",
+    "expected_response_time",
+    "integrated_rate",
+    "log_likelihood",
+    "rate",
+    "HawkesThreadModel",
+    "hawkes_intensity",
+    "hawkes_log_likelihood",
+    "ExcitationPointProcess",
+    "PointProcessFitResult",
+    "simulate_event_times",
+    "simulate_first_event_time",
+]

@@ -1,0 +1,22 @@
+"""Topic-model substrate: tokenization, vocabulary and from-scratch LDA."""
+
+from .coherence import mean_coherence, umass_coherence
+from .lda import LdaGibbs, LdaVariational, fit_lda
+from .similarity import pairwise_tv_similarity, total_variation_similarity
+from .tokenizer import STOPWORDS, SplitPost, split_text_and_code, tokenize
+from .vocabulary import Vocabulary
+
+__all__ = [
+    "mean_coherence",
+    "umass_coherence",
+    "LdaGibbs",
+    "LdaVariational",
+    "fit_lda",
+    "pairwise_tv_similarity",
+    "total_variation_similarity",
+    "STOPWORDS",
+    "SplitPost",
+    "split_text_and_code",
+    "tokenize",
+    "Vocabulary",
+]

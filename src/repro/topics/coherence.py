@@ -1,0 +1,76 @@
+"""Topic-coherence evaluation (UMass coherence).
+
+A quality metric for fitted LDA models: coherent topics put their top
+words in documents together.  UMass coherence (Mimno et al., 2011):
+
+    C(topic) = sum_{i<j} log (D(w_i, w_j) + 1) / D(w_j)
+
+over the topic's top-N word pairs, where ``D(w)`` counts documents
+containing ``w`` and ``D(w_i, w_j)`` counts co-occurrences.  Higher
+(closer to zero) is better.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["umass_coherence", "mean_coherence"]
+
+
+def _document_frequencies(docs: list[np.ndarray], word_ids: np.ndarray):
+    """Per-word and pairwise document frequencies over ``word_ids``."""
+    word_ids = np.asarray(word_ids)
+    index = {int(w): i for i, w in enumerate(word_ids)}
+    n = len(word_ids)
+    single = np.zeros(n)
+    joint = np.zeros((n, n))
+    for doc in docs:
+        present = sorted({index[int(t)] for t in np.asarray(doc) if int(t) in index})
+        for a, i in enumerate(present):
+            single[i] += 1
+            for j in present[a + 1 :]:
+                joint[i, j] += 1
+                joint[j, i] += 1
+    return single, joint
+
+
+def umass_coherence(
+    docs: list[np.ndarray],
+    topic_word: np.ndarray,
+    topic: int,
+    *,
+    top_n: int = 10,
+) -> float:
+    """UMass coherence of one topic of a fitted model.
+
+    ``docs`` are token-id arrays (the training corpus) and
+    ``topic_word`` the model's topic-word distribution matrix.
+    """
+    if top_n < 2:
+        raise ValueError("top_n must be >= 2")
+    if not 0 <= topic < topic_word.shape[0]:
+        raise ValueError("topic index out of range")
+    if not docs:
+        raise ValueError("need a non-empty corpus")
+    top_words = np.argsort(-topic_word[topic])[:top_n]
+    single, joint = _document_frequencies(docs, top_words)
+    score = 0.0
+    # Convention: words ordered by topic probability; w_j is the more
+    # probable conditioning word.
+    for i in range(1, len(top_words)):
+        for j in range(i):
+            if single[j] > 0:
+                score += np.log((joint[i, j] + 1.0) / single[j])
+    return float(score)
+
+
+def mean_coherence(
+    docs: list[np.ndarray], topic_word: np.ndarray, *, top_n: int = 10
+) -> float:
+    """Average UMass coherence over all topics."""
+    k = topic_word.shape[0]
+    return float(
+        np.mean(
+            [umass_coherence(docs, topic_word, t, top_n=top_n) for t in range(k)]
+        )
+    )

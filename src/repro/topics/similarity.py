@@ -1,0 +1,38 @@
+"""Topic-distribution similarity measures.
+
+The paper's features (x), (xi), (xiii) all use the total-variation
+distance between topic distributions expressed as a similarity:
+``s = 1 - 0.5 * ||p - q||_1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["total_variation_similarity", "pairwise_tv_similarity"]
+
+
+def total_variation_similarity(p: np.ndarray, q: np.ndarray) -> float:
+    """``1 - TV(p, q)`` for two distributions on the same support.
+
+    Equals 1 when the distributions are identical and 0 when they have
+    disjoint support.
+    """
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError("distributions must have the same shape")
+    return float(1.0 - 0.5 * np.abs(p - q).sum())
+
+
+def pairwise_tv_similarity(rows: np.ndarray, against: np.ndarray) -> np.ndarray:
+    """TV similarity of each row of ``rows`` against the vector ``against``.
+
+    Vectorized form used when scoring one question's topic distribution
+    against many candidate questions at once.
+    """
+    rows = np.atleast_2d(np.asarray(rows, dtype=float))
+    against = np.asarray(against, dtype=float)
+    if rows.shape[1] != against.shape[0]:
+        raise ValueError("dimension mismatch")
+    return 1.0 - 0.5 * np.abs(rows - against[None, :]).sum(axis=1)

@@ -1,0 +1,86 @@
+"""Post text processing: word/code splitting and tokenization.
+
+The paper (Sec. II-B) divides each post into words ``x(p)`` and code
+``c(p)`` "using the fact that code on forums is delimited by specific HTML
+tags".  Stack Overflow wraps code in ``<code>...</code>`` (inline) and
+``<pre><code>...</code></pre>`` (blocks); we treat anything inside
+``<code>`` tags as code and everything else as words.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["SplitPost", "split_text_and_code", "tokenize", "STOPWORDS"]
+
+_CODE_RE = re.compile(r"<code>(.*?)</code>", re.DOTALL | re.IGNORECASE)
+_TAG_RE = re.compile(r"<[^>]+>")
+_TOKEN_RE = re.compile(r"[a-z][a-z0-9_+#.-]*")
+
+# A compact English stopword list; enough to keep LDA topics from being
+# dominated by function words.
+STOPWORDS = frozenset(
+    """a about after all also an and any are as at be because been before but
+    by can could did do does doing down for from get got had has have he her
+    here him his how i if in into is it its just like me more most my no not
+    now of on one only or other our out over same she so some such than that
+    the their them then there these they this those through to too under up
+    use very was we were what when where which while who why will with would
+    you your""".split()
+)
+
+
+@dataclass(frozen=True)
+class SplitPost:
+    """A post body split into its word text and its code text."""
+
+    words: str
+    code: str
+
+    @property
+    def word_length(self) -> int:
+        """Character length of the word portion (paper feature x_q)."""
+        return len(self.words)
+
+    @property
+    def code_length(self) -> int:
+        """Character length of the code portion (paper feature c_q)."""
+        return len(self.code)
+
+
+def split_text_and_code(body: str) -> SplitPost:
+    """Split an HTML post body into word text and code text.
+
+    Code is the concatenation of all ``<code>`` spans (joined by newlines);
+    words are whatever remains after removing code spans and stripping any
+    other HTML tags.
+    """
+    code_parts = _CODE_RE.findall(body)
+    without_code = _CODE_RE.sub(" ", body)
+    words = _TAG_RE.sub(" ", without_code)
+    words = re.sub(r"\s+", " ", words).strip()
+    return SplitPost(words=words, code="\n".join(code_parts))
+
+
+def tokenize(
+    text: str,
+    *,
+    remove_stopwords: bool = True,
+    min_length: int = 2,
+) -> list[str]:
+    """Lowercase and extract word tokens from plain text.
+
+    Tokens start with a letter and may contain digits and the symbols
+    ``_ + # . -`` so that terms like ``c++``, ``c#`` and ``numpy.array``
+    survive.  Trailing punctuation is stripped.
+    """
+    tokens = []
+    for tok in _TOKEN_RE.findall(text.lower()):
+        tok = tok.rstrip(".-")
+        if len(tok) < min_length:
+            continue
+        if remove_stopwords and tok in STOPWORDS:
+            continue
+        tokens.append(tok)
+    return tokens

@@ -1,0 +1,75 @@
+"""Vocabulary construction and document encoding for topic models."""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """A frozen token-to-id mapping built from a corpus.
+
+    Tokens seen fewer than ``min_count`` times are dropped; encoding an
+    unseen or dropped token silently skips it (topic models ignore
+    out-of-vocabulary words).
+    """
+
+    def __init__(self, min_count: int = 1, max_size: int | None = None):
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be >= 1 when given")
+        self.min_count = min_count
+        self.max_size = max_size
+        self._token_to_id: dict[str, int] = {}
+        self._id_to_token: list[str] = []
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    @property
+    def tokens(self) -> list[str]:
+        """All tokens in id order."""
+        return list(self._id_to_token)
+
+    def fit(self, documents: Iterable[Sequence[str]]) -> "Vocabulary":
+        """Build the vocabulary from tokenized documents."""
+        counts: Counter[str] = Counter()
+        for doc in documents:
+            counts.update(doc)
+        kept = [
+            (tok, cnt) for tok, cnt in counts.items() if cnt >= self.min_count
+        ]
+        # Most frequent first; ties broken alphabetically for determinism.
+        kept.sort(key=lambda item: (-item[1], item[0]))
+        if self.max_size is not None:
+            kept = kept[: self.max_size]
+        self._id_to_token = [tok for tok, _ in kept]
+        self._token_to_id = {tok: i for i, tok in enumerate(self._id_to_token)}
+        return self
+
+    def token_id(self, token: str) -> int:
+        """Id of a token; raises ``KeyError`` if absent."""
+        return self._token_to_id[token]
+
+    def token(self, token_id: int) -> str:
+        """Token string for an id."""
+        return self._id_to_token[token_id]
+
+    def encode(self, document: Sequence[str]) -> np.ndarray:
+        """Token-id array for a document, skipping out-of-vocab tokens."""
+        ids = [self._token_to_id[t] for t in document if t in self._token_to_id]
+        return np.array(ids, dtype=np.int64)
+
+    def encode_corpus(
+        self, documents: Iterable[Sequence[str]]
+    ) -> list[np.ndarray]:
+        """Encode every document."""
+        return [self.encode(doc) for doc in documents]

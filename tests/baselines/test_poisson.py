@@ -1,0 +1,74 @@
+"""Tests for repro.baselines.poisson."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.poisson import PoissonRegression
+
+
+def poisson_data(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    beta = np.array([0.8, -0.5])
+    mu = np.exp(x @ beta + 0.3)
+    y = rng.poisson(mu)
+    return x, y, beta
+
+
+class TestFit:
+    def test_recovers_coefficients(self):
+        x, y, beta = poisson_data()
+        model = PoissonRegression().fit(x, y)
+        np.testing.assert_allclose(model.coef_, beta, atol=0.15)
+        assert model.intercept_ == pytest.approx(0.3, abs=0.15)
+
+    def test_predictions_positive(self):
+        x, y, _ = poisson_data(seed=1)
+        preds = PoissonRegression().fit(x, y).predict_mean(x)
+        assert np.all(preds > 0)
+
+    def test_intercept_only_matches_mean(self):
+        rng = np.random.default_rng(2)
+        y = rng.poisson(3.0, size=400)
+        x = np.zeros((400, 1))
+        model = PoissonRegression().fit(x, y)
+        assert model.predict_mean(np.zeros((1, 1)))[0] == pytest.approx(
+            y.mean(), rel=1e-3
+        )
+
+    def test_handles_all_zero_targets(self):
+        x = np.random.default_rng(3).normal(size=(50, 2))
+        y = np.zeros(50)
+        model = PoissonRegression().fit(x, y)
+        assert np.all(np.isfinite(model.predict_mean(x)))
+
+    def test_large_targets_no_overflow(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(100, 1)) * 5
+        y = rng.poisson(np.exp(np.clip(x[:, 0], -5, 5)))
+        model = PoissonRegression().fit(x, y)
+        assert np.all(np.isfinite(model.predict_mean(x * 100)))
+
+    def test_ridge_shrinks(self):
+        x, y, _ = poisson_data(seed=5)
+        weak = PoissonRegression(l2=1e-6).fit(x, y)
+        strong = PoissonRegression(l2=1000.0).fit(x, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+
+class TestValidation:
+    def test_negative_targets_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonRegression().fit(np.zeros((2, 1)), np.array([-1.0, 1.0]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PoissonRegression().predict_mean(np.zeros((1, 1)))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            PoissonRegression().fit(np.zeros((3, 1)), np.zeros(2))
+
+    def test_1d_x_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonRegression().fit(np.zeros(3), np.zeros(3))

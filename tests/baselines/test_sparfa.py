@@ -1,0 +1,79 @@
+"""Tests for repro.baselines.sparfa."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sparfa import Sparfa
+from repro.ml.metrics import auc_score
+
+
+def low_rank_binary_data(n_rows=40, n_cols=30, k=2, seed=0):
+    rng = np.random.default_rng(seed)
+    c = rng.normal(0, 1.5, size=(n_rows, k))
+    w = np.abs(rng.normal(0, 1.5, size=(n_cols, k)))
+    b = rng.normal(0, 0.3, size=n_cols)
+    logits = c @ w.T + b
+    p = 1 / (1 + np.exp(-logits))
+    y = (rng.uniform(size=p.shape) < p).astype(float)
+    rows, cols = np.meshgrid(np.arange(n_rows), np.arange(n_cols), indexing="ij")
+    return rows.ravel(), cols.ravel(), y.ravel()
+
+
+class TestFit:
+    def test_recovers_structure(self):
+        rows, cols, values = low_rank_binary_data()
+        # Hold out 20% of entries.
+        rng = np.random.default_rng(1)
+        mask = rng.uniform(size=len(values)) < 0.8
+        model = Sparfa(40, 30, n_factors=3, seed=0, n_iter=400)
+        model.fit(rows[mask], cols[mask], values[mask])
+        probs = model.predict_proba(rows[~mask], cols[~mask])
+        assert auc_score(values[~mask], probs) > 0.7
+
+    def test_loadings_nonnegative(self):
+        rows, cols, values = low_rank_binary_data(seed=2)
+        model = Sparfa(40, 30, seed=2, n_iter=100).fit(rows, cols, values)
+        assert np.all(model.loadings_ >= 0)
+
+    def test_loss_decreases(self):
+        rows, cols, values = low_rank_binary_data(seed=3)
+        model = Sparfa(40, 30, seed=3, n_iter=100).fit(rows, cols, values)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_l1_induces_sparsity(self):
+        rows, cols, values = low_rank_binary_data(seed=4)
+        weak = Sparfa(40, 30, l1_loading=1e-5, seed=4, n_iter=200).fit(
+            rows, cols, values
+        )
+        strong = Sparfa(40, 30, l1_loading=0.5, seed=4, n_iter=200).fit(
+            rows, cols, values
+        )
+        assert np.abs(strong.loadings_).sum() < np.abs(weak.loadings_).sum()
+
+    def test_probabilities_valid(self):
+        rows, cols, values = low_rank_binary_data(seed=5)
+        model = Sparfa(40, 30, seed=5, n_iter=50).fit(rows, cols, values)
+        p = model.predict_proba(rows, cols)
+        assert np.all((p >= 0) & (p <= 1))
+
+
+class TestValidation:
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Sparfa(3, 3).predict_proba([0], [0])
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            Sparfa(3, 3).fit([5], [0], [1.0])
+
+    def test_non_binary_values(self):
+        with pytest.raises(ValueError):
+            Sparfa(3, 3).fit([0], [0], [0.5])
+
+    def test_empty_observations(self):
+        with pytest.raises(ValueError):
+            Sparfa(3, 3).fit([], [], [])
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Sparfa(0, 3)

@@ -1,0 +1,77 @@
+"""Tests for repro.core.batch_routing."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch_routing import route_batch, route_batch_greedy
+from repro.core.pipeline import ForumPredictor
+from repro.core.routing import QuestionRouter
+
+
+@pytest.fixture(scope="module")
+def router(dataset, predictor_config):
+    predictor = ForumPredictor(predictor_config).fit(dataset)
+    return QuestionRouter(predictor, epsilon=0.2, default_capacity=1.0)
+
+
+@pytest.fixture(scope="module")
+def batch(dataset):
+    return dataset.threads[-6:]
+
+
+@pytest.fixture(scope="module")
+def candidates(dataset):
+    return sorted(dataset.answerers)[:40]
+
+
+class TestRouteBatch:
+    def test_feasible_distribution(self, router, batch, candidates):
+        result = route_batch(router, batch, candidates)
+        if result is None:
+            pytest.skip("batch infeasible at this scale")
+        assert result.probabilities.shape == (len(batch), len(candidates))
+        np.testing.assert_allclose(
+            result.probabilities.sum(axis=1), 1.0, atol=1e-8
+        )
+        assert np.all(result.probabilities >= -1e-12)
+
+    def test_capacity_respected(self, router, batch, candidates):
+        result = route_batch(router, batch, candidates)
+        if result is None:
+            pytest.skip("batch infeasible at this scale")
+        per_user = result.probabilities.sum(axis=0)
+        assert np.all(per_user <= router.default_capacity + 1e-8)
+
+    def test_lp_at_least_as_good_as_greedy(self, router, batch, candidates):
+        lp = route_batch(router, batch, candidates)
+        greedy = route_batch_greedy(router, batch, candidates)
+        if lp is None or greedy is None:
+            pytest.skip("batch infeasible at this scale")
+        assert lp.objective >= greedy.objective - 1e-8
+
+    def test_tight_capacity_forces_spreading(self, router, batch, candidates):
+        """With capacity 1 per user and several questions, no user can
+        absorb the whole batch."""
+        result = route_batch(
+            router,
+            batch,
+            candidates,
+            capacities={int(u): 1.0 for u in candidates},
+        )
+        if result is None:
+            pytest.skip("batch infeasible at this scale")
+        assert np.all(result.probabilities.sum(axis=0) <= 1.0 + 1e-8)
+
+    def test_distribution_for(self, router, batch, candidates):
+        result = route_batch(router, batch, candidates)
+        if result is None:
+            pytest.skip("batch infeasible at this scale")
+        dist = result.distribution_for(batch[0].thread_id)
+        assert dist
+        assert sum(dist.values()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_validation(self, router, batch, candidates):
+        with pytest.raises(ValueError):
+            route_batch(router, [], candidates)
+        with pytest.raises(ValueError):
+            route_batch_greedy(router, batch, [])

@@ -1,0 +1,85 @@
+"""Tests for repro.core.coldstart."""
+
+import numpy as np
+import pytest
+
+from repro.core.answer_model import AnswerModel
+from repro.core.coldstart import cold_start_report
+from repro.core.timing_model import TimingModel
+from repro.core.vote_model import VoteModel
+
+
+@pytest.fixture(scope="module")
+def report(pairs, extractor, predictor_config):
+    n = pairs.n_pairs
+    train = np.arange(n) % 2 == 0
+    test = ~train
+    answer = AnswerModel().fit(pairs.x[train], pairs.is_event[train])
+    train_pos = np.flatnonzero(train & (pairs.is_event == 1.0))
+    vote = VoteModel(pairs.x.shape[1], epochs=30, seed=0)
+    vote.fit(pairs.x[train_pos], pairs.votes[train_pos])
+    timing = TimingModel(pairs.x.shape[1], epochs=30, seed=0)
+    timing.fit(
+        pairs.x[train], pairs.times[train], pairs.horizons[train],
+        pairs.is_event[train],
+    )
+    test_idx = np.flatnonzero(test)
+    # Restrict to test rows for the report.
+    from repro.core.evaluation import PairDataset
+
+    test_pairs = PairDataset(
+        x=pairs.x[test_idx],
+        users=pairs.users[test_idx],
+        thread_ids=pairs.thread_ids[test_idx],
+        votes=pairs.votes[test_idx],
+        times=pairs.times[test_idx],
+        horizons=pairs.horizons[test_idx],
+        is_event=pairs.is_event[test_idx],
+    )
+    buckets = cold_start_report(
+        test_pairs,
+        extractor.spec,
+        answer.predict_proba(test_pairs.x),
+        vote.predict(test_pairs.x),
+        timing.predict(test_pairs.x, test_pairs.horizons),
+    )
+    return buckets, test_pairs
+
+
+class TestColdStartReport:
+    def test_bands_cover_all_pairs(self, report):
+        buckets, test_pairs = report
+        assert sum(b.n_pairs for b in buckets) == test_pairs.n_pairs
+
+    def test_labels(self, report):
+        buckets, _ = report
+        assert [b.label for b in buckets] == [
+            "cold (0)",
+            "thin (1-2)",
+            "warm (3+)",
+        ]
+
+    def test_metrics_finite_where_defined(self, report):
+        buckets, _ = report
+        for b in buckets:
+            if b.n_positive > 0:
+                assert np.isfinite(b.vote_rmse)
+                assert np.isfinite(b.timing_rmse)
+
+    def test_warm_band_has_answer_signal(self, report):
+        buckets, _ = report
+        warm = buckets[-1]
+        if warm.n_pairs < 20 or np.isnan(warm.answer_auc):
+            pytest.skip("too few warm pairs at this scale")
+        assert warm.answer_auc > 0.5
+
+    def test_length_mismatch_rejected(self, report, extractor):
+        _, test_pairs = report
+        with pytest.raises(ValueError):
+            cold_start_report(
+                test_pairs,
+                extractor.spec,
+                np.zeros(3),
+                np.zeros(test_pairs.n_pairs),
+                np.zeros(test_pairs.n_pairs),
+            )

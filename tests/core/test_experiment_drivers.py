@@ -1,0 +1,94 @@
+"""Fast unit tests for the Fig. 5/6/7 experiment drivers."""
+
+import numpy as np
+import pytest
+
+from repro.core import PredictorConfig
+from repro.core.evaluation import (
+    run_feature_importance,
+    run_group_importance_by_history,
+    run_topic_sweep,
+)
+
+TINY = PredictorConfig(
+    n_topics=2,
+    vote_epochs=20,
+    timing_epochs=20,
+    betweenness_sample_size=40,
+)
+
+
+class TestTopicSweep:
+    def test_returns_percent_changes(self, dataset):
+        results = run_topic_sweep(
+            dataset,
+            topic_counts=(3,),
+            base_topics=2,
+            config=TINY,
+            n_folds=2,
+        )
+        assert set(results) == {3}
+        assert set(results[3]) == {"answer", "votes", "timing"}
+        for value in results[3].values():
+            assert np.isfinite(value)
+
+    def test_base_not_in_output(self, dataset):
+        results = run_topic_sweep(
+            dataset, topic_counts=(2, 3), base_topics=2, config=TINY, n_folds=2
+        )
+        assert 2 not in results
+
+
+class TestFeatureImportance:
+    def test_subset_of_features(self, dataset):
+        results = run_feature_importance(
+            dataset,
+            config=TINY,
+            n_folds=2,
+            features=("net_question_votes", "answers_provided"),
+        )
+        assert set(results) == {"net_question_votes", "answers_provided"}
+        for row in results.values():
+            assert set(row) == {"votes", "timing"}
+            assert all(np.isfinite(v) for v in row.values())
+
+    def test_unknown_feature_raises(self, dataset):
+        with pytest.raises(ValueError, match="unknown feature"):
+            run_feature_importance(
+                dataset, config=TINY, n_folds=2, features=("bogus",)
+            )
+
+
+class TestGroupImportanceByHistory:
+    def test_structure(self, dataset):
+        results = run_group_importance_by_history(
+            dataset,
+            config=TINY,
+            eval_first_day=25,
+            eval_last_day=30,
+            history_lengths=(10,),
+            n_folds=2,
+        )
+        assert set(results) == {10}
+        row = results[10]
+        assert set(row) == {
+            "full",
+            "user",
+            "question",
+            "user_question",
+            "social",
+        }
+        for metrics in row.values():
+            assert np.isfinite(metrics["votes"])
+            assert np.isfinite(metrics["timing"])
+
+    def test_empty_evaluation_window_raises(self, dataset):
+        with pytest.raises(ValueError, match="evaluation window"):
+            run_group_importance_by_history(
+                dataset,
+                config=TINY,
+                eval_first_day=300,
+                eval_last_day=301,
+                history_lengths=(5,),
+                n_folds=2,
+            )

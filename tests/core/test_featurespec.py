@@ -1,0 +1,101 @@
+"""Tests for repro.core.featurespec."""
+
+import numpy as np
+import pytest
+
+from repro.core.featurespec import FEATURE_GROUPS, FEATURE_ORDER, FeatureSpec
+
+
+class TestLayout:
+    def test_twenty_features(self):
+        assert len(FEATURE_ORDER) == 20
+
+    def test_dimension_formula(self):
+        # Paper: two topic distributions of length K -> 18 + 2K columns.
+        for k in (2, 8, 15):
+            assert FeatureSpec(k).n_features == 18 + 2 * k
+
+    def test_column_names_count(self):
+        spec = FeatureSpec(8)
+        assert len(spec.column_names()) == spec.n_features
+
+    def test_group_sizes(self):
+        # User: 5 features, question: 4, user-question: 3, social: 8.
+        counts = {g: 0 for g in FEATURE_GROUPS}
+        for _, group, _ in FEATURE_ORDER:
+            counts[group] += 1
+        assert counts == {
+            "user": 5,
+            "question": 4,
+            "user_question": 3,
+            "social": 8,
+        }
+
+    def test_columns_partition(self):
+        spec = FeatureSpec(5)
+        all_cols = np.concatenate(
+            [spec.columns_of_group(g) for g in FEATURE_GROUPS]
+        )
+        assert sorted(all_cols.tolist()) == list(range(spec.n_features))
+
+
+class TestLookups:
+    def test_scalar_feature_single_column(self):
+        spec = FeatureSpec(8)
+        assert len(spec.columns_of("answers_provided")) == 1
+
+    def test_topic_feature_k_columns(self):
+        spec = FeatureSpec(8)
+        assert len(spec.columns_of("topics_answered")) == 8
+        assert len(spec.columns_of("topics_asked")) == 8
+
+    def test_topic_columns_contiguous(self):
+        spec = FeatureSpec(4)
+        cols = spec.columns_of("topics_answered")
+        np.testing.assert_array_equal(np.diff(cols), 1)
+
+    def test_group_of(self):
+        spec = FeatureSpec(8)
+        assert spec.group_of("median_response_time") == "user"
+        assert spec.group_of("qa_closeness") == "social"
+
+    def test_unknown_feature_raises(self):
+        with pytest.raises(ValueError, match="unknown feature"):
+            FeatureSpec(8).columns_of("bogus")
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(ValueError, match="unknown group"):
+            FeatureSpec(8).columns_of_group("bogus")
+
+
+class TestMasks:
+    def test_mask_without_feature(self):
+        spec = FeatureSpec(8)
+        mask = spec.mask_without(features=("net_question_votes",))
+        assert mask.sum() == spec.n_features - 1
+        assert not mask[spec.columns_of("net_question_votes")[0]]
+
+    def test_mask_without_topic_feature(self):
+        spec = FeatureSpec(8)
+        mask = spec.mask_without(features=("topics_asked",))
+        assert mask.sum() == spec.n_features - 8
+
+    def test_mask_without_group(self):
+        spec = FeatureSpec(8)
+        mask = spec.mask_without(groups=("social",))
+        assert mask.sum() == spec.n_features - 8  # 8 scalar social features
+
+    def test_mask_combined(self):
+        spec = FeatureSpec(8)
+        mask = spec.mask_without(
+            features=("answers_provided",), groups=("question",)
+        )
+        assert mask.sum() == spec.n_features - 1 - (3 + 8)
+
+    def test_empty_mask_keeps_all(self):
+        spec = FeatureSpec(8)
+        assert spec.mask_without().all()
+
+    def test_invalid_topics(self):
+        with pytest.raises(ValueError):
+            FeatureSpec(0)

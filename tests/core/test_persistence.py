@@ -1,0 +1,59 @@
+"""Tests for repro.core.persistence — predictor save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import load_predictor, save_predictor
+from repro.core.pipeline import ForumPredictor
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset, predictor_config):
+    return ForumPredictor(predictor_config).fit(dataset)
+
+
+class TestRoundTrip:
+    def test_predictions_identical(self, fitted, dataset, tmp_path):
+        path = tmp_path / "predictor.npz"
+        save_predictor(fitted, path)
+        loaded = load_predictor(path, dataset)
+        users = list(dataset.answerers)[:5]
+        thread = dataset.threads[0]
+        # Topic distributions are re-inferred on load (transform vs. the
+        # training-run gamma), so tiny numeric differences are expected.
+        for user in users:
+            orig = fitted.predict(user, thread)
+            back = loaded.predict(user, thread)
+            assert back.answer_probability == pytest.approx(
+                orig.answer_probability, abs=1e-3
+            )
+            assert back.votes == pytest.approx(orig.votes, abs=1e-2)
+            assert back.response_time == pytest.approx(
+                orig.response_time, rel=1e-2
+            )
+
+    def test_config_preserved(self, fitted, dataset, tmp_path):
+        path = tmp_path / "predictor.npz"
+        save_predictor(fitted, path)
+        loaded = load_predictor(path, dataset)
+        assert loaded.config == fitted.config
+
+    def test_batch_predictions_match(self, fitted, dataset, tmp_path):
+        path = tmp_path / "predictor.npz"
+        save_predictor(fitted, path)
+        loaded = load_predictor(path, dataset)
+        pairs = [(u, dataset.threads[1]) for u in list(dataset.answerers)[:6]]
+        a = fitted.predict_batch(pairs)
+        b = loaded.predict_batch(pairs)
+        for key in a:
+            np.testing.assert_allclose(a[key], b[key], rtol=0.05, atol=0.01)
+
+    def test_unfitted_rejected(self, predictor_config, tmp_path):
+        with pytest.raises(ValueError, match="not fitted"):
+            save_predictor(ForumPredictor(predictor_config), tmp_path / "x.npz")
+
+    def test_file_is_single_archive(self, fitted, dataset, tmp_path):
+        path = tmp_path / "predictor.npz"
+        save_predictor(fitted, path)
+        assert path.exists()
+        assert path.stat().st_size > 1000

@@ -1,0 +1,133 @@
+"""Tests for repro.core.routing — the Sec.-V LP and recommender."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy.optimize import linprog
+
+from repro.core.pipeline import ForumPredictor
+from repro.core.routing import QuestionRouter, solve_routing_lp
+
+
+class TestSolveRoutingLP:
+    def test_single_user_gets_all(self):
+        p = solve_routing_lp(np.array([1.0]), np.array([2.0]))
+        np.testing.assert_allclose(p, [1.0])
+
+    def test_best_user_filled_first(self):
+        p = solve_routing_lp(np.array([1.0, 5.0, 3.0]), np.array([1.0, 0.4, 1.0]))
+        np.testing.assert_allclose(p, [0.0, 0.4, 0.6])
+
+    def test_is_distribution(self):
+        p = solve_routing_lp(np.array([0.5, -1.0, 2.0]), np.array([0.7, 0.7, 0.7]))
+        assert p.sum() == pytest.approx(1.0)
+        assert np.all(p >= 0)
+
+    def test_respects_capacities(self):
+        caps = np.array([0.3, 0.3, 0.5])
+        p = solve_routing_lp(np.array([3.0, 2.0, 1.0]), caps)
+        assert np.all(p <= caps + 1e-12)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            solve_routing_lp(np.array([1.0, 2.0]), np.array([0.3, 0.3]))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            solve_routing_lp(np.ones(2), np.ones(3))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(1, 8),
+        st.integers(0, 10_000),
+    )
+    def test_matches_scipy_linprog(self, n, seed):
+        """The greedy solution must achieve scipy's optimal objective."""
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=n)
+        caps = rng.uniform(0.1, 1.0, size=n)
+        if caps.sum() < 1.0:
+            caps = caps / caps.sum() * 1.5
+        ours = solve_routing_lp(scores, caps)
+        res = linprog(
+            -scores,
+            A_eq=np.ones((1, n)),
+            b_eq=[1.0],
+            bounds=[(0, c) for c in caps],
+            method="highs",
+        )
+        assert res.success
+        assert scores @ ours == pytest.approx(-res.fun, abs=1e-9)
+
+
+class TestQuestionRouter:
+    @pytest.fixture(scope="class")
+    def router(self, dataset, predictor_config):
+        predictor = ForumPredictor(predictor_config).fit(dataset)
+        return QuestionRouter(predictor, epsilon=0.3)
+
+    def test_recommendation_is_distribution(self, router, dataset):
+        thread = dataset.threads[-1]
+        candidates = list(dataset.answerers)[:30]
+        result = router.recommend(thread, candidates)
+        if result is None:
+            pytest.skip("no eligible candidates at this scale")
+        assert result.probabilities.sum() == pytest.approx(1.0)
+        assert np.all(result.probabilities >= 0)
+        assert len(result.users) == len(result.probabilities)
+
+    def test_eligibility_threshold(self, router, dataset):
+        thread = dataset.threads[-1]
+        candidates = list(dataset.answerers)[:30]
+        result = router.recommend(thread, candidates)
+        if result is None:
+            pytest.skip("no eligible candidates at this scale")
+        assert np.all(result.predictions["answer"] >= router.epsilon)
+
+    def test_load_constraint_respected(self, router, dataset):
+        thread = dataset.threads[-1]
+        candidates = list(dataset.answerers)[:30]
+        base = router.recommend(thread, candidates)
+        if base is None or len(base.users) < 2:
+            pytest.skip("not enough eligible candidates")
+        # Saturate the top user's load; they must get zero probability.
+        top_user = base.ranked_users()[0][0]
+        loaded = router.recommend(
+            thread, candidates, recent_load={top_user: 10}
+        )
+        if loaded is not None:
+            idx = np.flatnonzero(loaded.users == top_user)
+            if idx.size:
+                assert loaded.probabilities[idx[0]] == 0.0
+
+    def test_tradeoff_changes_scores(self, router, dataset):
+        thread = dataset.threads[-1]
+        candidates = list(dataset.answerers)[:30]
+        fast = router.recommend(thread, candidates, tradeoff=10.0)
+        quality = router.recommend(thread, candidates, tradeoff=0.0)
+        if fast is None or quality is None:
+            pytest.skip("no eligible candidates")
+        assert not np.allclose(fast.scores, quality.scores)
+
+    def test_empty_candidates(self, router, dataset):
+        assert router.recommend(dataset.threads[0], []) is None
+
+    def test_draw_returns_eligible_user(self, router, dataset):
+        thread = dataset.threads[-1]
+        candidates = list(dataset.answerers)[:30]
+        result = router.recommend(thread, candidates)
+        if result is None:
+            pytest.skip("no eligible candidates")
+        rng = np.random.default_rng(0)
+        assert result.draw(rng) in set(result.users.tolist())
+
+    def test_recent_load_window(self, router, dataset):
+        now = dataset.duration_hours
+        load = router.recent_load(dataset, now)
+        assert all(v >= 1 for v in load.values())
+
+    def test_invalid_epsilon(self, dataset, predictor_config):
+        predictor = ForumPredictor(predictor_config)
+        with pytest.raises(ValueError):
+            QuestionRouter(predictor, epsilon=1.5)

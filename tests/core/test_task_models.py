@@ -1,0 +1,116 @@
+"""Tests for the three task models (answer, vote, timing) on pair data."""
+
+import numpy as np
+import pytest
+
+from repro.core.answer_model import AnswerModel
+from repro.core.timing_model import TimingModel
+from repro.core.vote_model import VoteModel
+from repro.ml.metrics import auc_score, rmse
+
+
+class TestAnswerModel:
+    def test_beats_chance_on_pairs(self, pairs):
+        n = pairs.n_pairs
+        train = np.arange(n) % 2 == 0
+        model = AnswerModel().fit(pairs.x[train], pairs.is_event[train])
+        auc = auc_score(
+            pairs.is_event[~train], model.predict_proba(pairs.x[~train])
+        )
+        assert auc > 0.7
+
+    def test_coefficients_available(self, pairs):
+        model = AnswerModel().fit(pairs.x, pairs.is_event)
+        assert model.coefficients.shape == (pairs.x.shape[1],)
+
+    def test_unfitted_coefficients_raise(self):
+        with pytest.raises(RuntimeError):
+            AnswerModel().coefficients
+
+
+class TestVoteModel:
+    def test_beats_mean_predictor(self, pairs, predictor_config):
+        pos = pairs.positives
+        train = pos[: len(pos) // 2]
+        test = pos[len(pos) // 2 :]
+        model = VoteModel(
+            pairs.x.shape[1], epochs=predictor_config.vote_epochs, seed=0
+        )
+        model.fit(pairs.x[train], pairs.votes[train])
+        model_rmse = rmse(pairs.votes[test], model.predict(pairs.x[test]))
+        mean_rmse = rmse(
+            pairs.votes[test],
+            np.full(len(test), pairs.votes[train].mean()),
+        )
+        assert model_rmse < mean_rmse
+
+    def test_unfitted_predict_raises(self, pairs):
+        with pytest.raises(RuntimeError):
+            VoteModel(pairs.x.shape[1]).predict(pairs.x[:1])
+
+    def test_invalid_features(self):
+        with pytest.raises(ValueError):
+            VoteModel(0)
+
+
+class TestTimingModel:
+    @pytest.fixture(scope="class")
+    def fitted(self, pairs, predictor_config):
+        model = TimingModel(
+            pairs.x.shape[1], epochs=predictor_config.timing_epochs, seed=0
+        )
+        n = pairs.n_pairs
+        train = np.arange(n) % 2 == 0
+        model.fit(
+            pairs.x[train],
+            pairs.times[train],
+            pairs.horizons[train],
+            pairs.is_event[train],
+        )
+        return model, train
+
+    def test_predictions_positive_and_within_horizon(self, fitted, pairs):
+        model, train = fitted
+        test_pos = np.flatnonzero(~train & (pairs.is_event == 1.0))
+        preds = model.predict(pairs.x[test_pos], pairs.horizons[test_pos])
+        assert np.all(preds > 0)
+        assert np.all(preds <= pairs.horizons[test_pos] + 1e-9)
+
+    def test_beats_median_predictor(self, fitted, pairs):
+        model, train = fitted
+        train_pos = np.flatnonzero(train & (pairs.is_event == 1.0))
+        test_pos = np.flatnonzero(~train & (pairs.is_event == 1.0))
+        preds = model.predict(pairs.x[test_pos], pairs.horizons[test_pos])
+        model_rmse = rmse(pairs.times[test_pos], preds)
+        const_rmse = rmse(
+            pairs.times[test_pos],
+            np.full(len(test_pos), pairs.times[train_pos].mean()),
+        )
+        assert model_rmse < 1.25 * const_rmse  # competitive with constant
+
+    def test_rate_parameters_positive(self, fitted, pairs):
+        model, _ = fitted
+        mu, omega = model.rate_parameters(pairs.x[:10])
+        assert np.all(mu > 0)
+        assert np.all(omega > 0)
+
+    def test_expected_predictor_mode(self, pairs, predictor_config):
+        model = TimingModel(
+            pairs.x.shape[1],
+            predictor="expected",
+            decay="constant",
+            epochs=20,
+            seed=0,
+        )
+        model.fit(pairs.x, pairs.times, pairs.horizons, pairs.is_event)
+        preds = model.predict(pairs.x[:5], pairs.horizons[:5])
+        assert preds.shape == (5,)
+        assert np.all(preds >= 0)
+
+    def test_invalid_predictor(self, pairs):
+        with pytest.raises(ValueError):
+            TimingModel(pairs.x.shape[1], predictor="magic")
+
+    def test_unfitted_raises(self, pairs):
+        with pytest.raises(RuntimeError):
+            TimingModel(pairs.x.shape[1]).predict(pairs.x[:1], 1.0)

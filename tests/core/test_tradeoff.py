@@ -1,0 +1,83 @@
+"""Tests for repro.core.tradeoff."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ForumPredictor
+from repro.core.routing import QuestionRouter
+from repro.core.tradeoff import (
+    FrontierPoint,
+    pareto_front,
+    sweep_tradeoff,
+)
+
+
+def point(lam, votes, time):
+    return FrontierPoint(
+        tradeoff=lam, mean_votes=votes, mean_response_time=time, n_routed=10
+    )
+
+
+class TestParetoFront:
+    def test_dominated_point_removed(self):
+        a = point(0.0, 2.0, 1.0)
+        b = point(1.0, 1.0, 2.0)  # worse on both axes
+        assert pareto_front([a, b]) == (a,)
+
+    def test_tradeoff_curve_kept(self):
+        a = point(0.0, 3.0, 5.0)  # high quality, slow
+        b = point(1.0, 2.0, 2.0)  # medium
+        c = point(5.0, 1.0, 0.5)  # fast, low quality
+        front = pareto_front([a, b, c])
+        assert front == (a, b, c)
+
+    def test_duplicates_kept(self):
+        a = point(0.0, 1.0, 1.0)
+        b = point(1.0, 1.0, 1.0)
+        assert len(pareto_front([a, b])) == 2
+
+    def test_sorted_by_tradeoff(self):
+        pts = [point(5.0, 1.0, 0.5), point(0.0, 3.0, 5.0)]
+        front = pareto_front(pts)
+        assert [p.tradeoff for p in front] == [0.0, 5.0]
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def frontier(self, dataset, predictor_config):
+        predictor = ForumPredictor(predictor_config).fit(dataset)
+        router = QuestionRouter(predictor, epsilon=0.25, default_capacity=5.0)
+        threads = dataset.threads[-20:]
+        candidates = sorted(dataset.answerers)
+        return sweep_tradeoff(
+            router, threads, candidates, tradeoffs=(0.0, 1.0, 5.0)
+        )
+
+    def test_point_per_tradeoff(self, frontier):
+        assert len(frontier.points) == 3
+        assert [p.tradeoff for p in frontier.points] == [0.0, 1.0, 5.0]
+
+    def test_latency_non_increasing_in_lambda(self, frontier):
+        times = [p.mean_response_time for p in frontier.points]
+        valid = [t for t in times if np.isfinite(t)]
+        if len(valid) < 2:
+            pytest.skip("not enough routed questions")
+        assert valid[-1] <= valid[0] + 1e-9
+
+    def test_pareto_subset(self, frontier):
+        front = frontier.pareto
+        assert 1 <= len(front) <= len(frontier.points)
+        assert set(front) <= set(frontier.points)
+
+    def test_rows(self, frontier):
+        rows = frontier.as_rows()
+        assert len(rows) == 3
+        assert all(len(r) == 4 for r in rows)
+
+    def test_validation(self, dataset, predictor_config):
+        predictor = ForumPredictor(predictor_config)
+        router = QuestionRouter.__new__(QuestionRouter)  # no fit needed
+        with pytest.raises(ValueError):
+            sweep_tradeoff(router, [], [1])
+        with pytest.raises(ValueError):
+            sweep_tradeoff(router, dataset.threads[:1], [])

@@ -1,0 +1,193 @@
+"""Tests for repro.forum.dataset."""
+
+import numpy as np
+import pytest
+
+from repro.forum.dataset import ForumDataset
+from repro.forum.models import Post, Thread
+
+
+def post(pid, tid, author, ts, votes=0, question=False):
+    return Post(
+        post_id=pid,
+        thread_id=tid,
+        author=author,
+        timestamp=ts,
+        votes=votes,
+        body="<p>text</p>",
+        is_question=question,
+    )
+
+
+def small_dataset():
+    """Three threads: answered, answered-with-issues, unanswered."""
+    t0 = Thread(
+        question=post(0, 0, author=1, ts=0.0, votes=3, question=True),
+        answers=[
+            post(1, 0, author=2, ts=1.0, votes=5),
+            post(2, 0, author=3, ts=2.0, votes=1),
+        ],
+    )
+    t1 = Thread(
+        question=post(3, 1, author=2, ts=10.0, question=True),
+        answers=[
+            post(4, 1, author=4, ts=11.0, votes=1),  # duplicate user, lower vote
+            post(5, 1, author=4, ts=12.0, votes=7),  # duplicate user, higher vote
+            post(6, 1, author=5, ts=10.0, votes=2),  # zero delay -> dropped
+        ],
+    )
+    t2 = Thread(question=post(7, 2, author=6, ts=20.0, question=True))
+    return ForumDataset([t0, t1, t2])
+
+
+class TestBasics:
+    def test_ordering_by_creation(self):
+        ds = small_dataset()
+        assert [t.thread_id for t in ds] == [0, 1, 2]
+
+    def test_duplicate_thread_ids_rejected(self):
+        t = Thread(question=post(0, 0, 1, 0.0, question=True))
+        t2 = Thread(question=post(1, 0, 2, 1.0, question=True))
+        with pytest.raises(ValueError):
+            ForumDataset([t, t2])
+
+    def test_user_sets(self):
+        ds = small_dataset()
+        assert ds.askers == {1, 2, 6}
+        assert ds.answerers == {2, 3, 4, 5}
+        assert ds.users == {1, 2, 3, 4, 5, 6}
+
+    def test_counts(self):
+        ds = small_dataset()
+        assert len(ds) == 3
+        assert ds.num_answers == 5
+
+    def test_duration(self):
+        assert small_dataset().duration_hours == 20.0
+
+    def test_thread_lookup(self):
+        ds = small_dataset()
+        assert ds.thread(1).asker == 2
+        assert 2 in ds
+        assert 99 not in ds
+
+
+class TestPreprocess:
+    def test_unanswered_dropped(self):
+        ds, report = small_dataset().preprocess()
+        assert report.questions_dropped_unanswered == 1
+        assert 2 not in ds
+
+    def test_duplicate_keeps_highest_vote(self):
+        ds, report = small_dataset().preprocess()
+        assert report.duplicate_answers_removed == 1
+        kept = ds.thread(1).answer_by(4)
+        assert kept.votes == 7
+
+    def test_zero_delay_dropped(self):
+        ds, report = small_dataset().preprocess()
+        assert report.zero_delay_answers_removed == 1
+        assert 5 not in ds.thread(1).answerers
+
+    def test_thread_emptied_by_filters_is_dropped(self):
+        t = Thread(
+            question=post(0, 0, 1, 5.0, question=True),
+            answers=[post(1, 0, 2, 5.0)],  # only answer has zero delay
+        )
+        ds, report = ForumDataset([t]).preprocess()
+        assert len(ds) == 0
+        assert report.questions_dropped_unanswered == 1
+
+    def test_preprocess_idempotent(self):
+        once, _ = small_dataset().preprocess()
+        twice, report = once.preprocess()
+        assert len(twice) == len(once)
+        assert report.duplicate_answers_removed == 0
+        assert report.zero_delay_answers_removed == 0
+
+
+class TestDerivedViews:
+    def test_answer_records(self):
+        ds, _ = small_dataset().preprocess()
+        records = ds.answer_records()
+        by_pair = {(r.user, r.thread_id): r for r in records}
+        assert by_pair[(2, 0)].response_time == pytest.approx(1.0)
+        assert by_pair[(4, 1)].votes == 7
+
+    def test_participant_tuples(self):
+        ds, _ = small_dataset().preprocess()
+        tuples = ds.participant_tuples()
+        asker, answerers = tuples[0]
+        assert asker == 1
+        assert set(answerers) == {2, 3}
+
+    def test_density(self):
+        ds, _ = small_dataset().preprocess()
+        # 3 positive pairs over 3 answerers x 2 questions.
+        assert ds.answer_matrix_density() == pytest.approx(3 / 6)
+
+    def test_answers_per_user(self):
+        ds, _ = small_dataset().preprocess()
+        counts = ds.answers_per_user()
+        assert counts[2] == 1 and counts[4] == 1
+
+
+class TestPartitioning:
+    def test_window(self):
+        ds = small_dataset()
+        window = ds.threads_in_window(5.0, 15.0)
+        assert [t.thread_id for t in window] == [1]
+
+    def test_days(self):
+        t_day1 = Thread(question=post(0, 0, 1, 5.0, question=True))
+        t_day2 = Thread(question=post(1, 1, 1, 30.0, question=True))
+        ds = ForumDataset([t_day1, t_day2])
+        assert [t.thread_id for t in ds.threads_in_days(1, 1)] == [0]
+        assert [t.thread_id for t in ds.threads_in_days(2, 2)] == [1]
+        assert len(ds.threads_in_days(1, 2)) == 2
+
+    def test_invalid_windows(self):
+        ds = small_dataset()
+        with pytest.raises(ValueError):
+            ds.threads_in_window(5.0, 5.0)
+        with pytest.raises(ValueError):
+            ds.threads_in_days(0, 5)
+
+    def test_threads_before(self):
+        ds = small_dataset()
+        before = ds.threads_before(1)
+        assert [t.thread_id for t in before] == [0, 1]
+
+    def test_subset(self):
+        ds = small_dataset()
+        sub = ds.subset([0, 2])
+        assert len(sub) == 2
+        with pytest.raises(KeyError):
+            ds.subset([99])
+
+
+class TestNegativeSampling:
+    def test_samples_are_true_negatives(self):
+        ds, _ = small_dataset().preprocess()
+        pairs = ds.sample_negative_pairs(10, seed=0)
+        assert len(pairs) == 10
+        for user, tid in pairs:
+            thread = ds.thread(tid)
+            assert user != thread.asker
+            assert user not in thread.answerers
+
+    def test_deterministic(self):
+        ds, _ = small_dataset().preprocess()
+        assert ds.sample_negative_pairs(5, seed=3) == ds.sample_negative_pairs(
+            5, seed=3
+        )
+
+    def test_spread_across_questions(self):
+        ds, _ = small_dataset().preprocess()
+        pairs = ds.sample_negative_pairs(20, seed=1)
+        tids = {tid for _, tid in pairs}
+        assert len(tids) == 2  # both questions used
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ValueError):
+            ForumDataset([]).sample_negative_pairs(1)

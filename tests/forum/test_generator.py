@@ -1,0 +1,229 @@
+"""Tests for repro.forum.generator — structure and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.forum.generator import ForumConfig, generate_forum
+from repro.forum.stats import (
+    median_response_time_by_activity,
+    vote_time_correlation,
+)
+from repro.topics.tokenizer import split_text_and_code
+
+SMALL = ForumConfig(n_users=300, n_questions=400)
+
+
+@pytest.fixture(scope="module")
+def forum():
+    return generate_forum(SMALL, seed=0)
+
+
+@pytest.fixture(scope="module")
+def clean(forum):
+    dataset, _ = forum.dataset.preprocess()
+    return dataset
+
+
+class TestStructure:
+    def test_question_count(self, forum):
+        assert len(forum.dataset) == SMALL.n_questions
+
+    def test_deterministic(self):
+        a = generate_forum(SMALL, seed=5)
+        b = generate_forum(SMALL, seed=5)
+        ra = a.dataset.answer_records()
+        rb = b.dataset.answer_records()
+        assert [(r.user, r.thread_id, r.votes) for r in ra] == [
+            (r.user, r.thread_id, r.votes) for r in rb
+        ]
+
+    def test_seed_changes_output(self):
+        a = generate_forum(SMALL, seed=1)
+        b = generate_forum(SMALL, seed=2)
+        assert a.dataset.num_answers != b.dataset.num_answers or [
+            r.votes for r in a.dataset.answer_records()
+        ] != [r.votes for r in b.dataset.answer_records()]
+
+    def test_unanswered_fraction_close_to_config(self, forum):
+        unanswered = sum(1 for t in forum.dataset if not t.answers)
+        frac = unanswered / len(forum.dataset)
+        assert abs(frac - SMALL.unanswered_fraction) < 0.1
+
+    def test_askers_never_answer_own_question(self, forum):
+        for t in forum.dataset:
+            assert t.asker not in t.answerers
+
+    def test_ground_truth_shapes(self, forum):
+        assert forum.user_interests.shape == (SMALL.n_users, SMALL.n_topics)
+        np.testing.assert_allclose(forum.user_interests.sum(axis=1), 1.0)
+        assert forum.question_topics.shape == (SMALL.n_questions, SMALL.n_topics)
+        np.testing.assert_allclose(forum.question_topics.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_timestamps_within_window_for_questions(self, forum):
+        for t in forum.dataset:
+            assert 0 <= t.created_at <= SMALL.duration_hours
+
+    def test_bodies_have_words_and_code(self, forum):
+        thread = forum.dataset.threads[0]
+        post = split_text_and_code(thread.question.body)
+        assert post.word_length > 0
+        assert post.code_length > 0
+
+
+class TestCalibration:
+    """The generator must reproduce the paper's dataset statistics in shape."""
+
+    def test_votes_uncorrelated_with_time(self, clean):
+        # Fig. 3: no tradeoff between quality and timing.
+        corr = vote_time_correlation(clean)
+        assert abs(corr["pearson"]) < 0.15
+
+    def test_active_users_answer_faster(self, clean):
+        # Fig. 4b: median response time falls with activity.
+        groups = median_response_time_by_activity(clean, (1, 5))
+        if len(groups[5]) < 5:
+            pytest.skip("too few highly active users at this scale")
+        assert np.median(groups[5]) < np.median(groups[1])
+
+    def test_heavy_tailed_activity(self, clean):
+        # Fig. 4a: a sizeable fraction of users answer repeatedly.
+        counts = np.array(list(clean.answers_per_user().values()))
+        frac_multi = (counts >= 2).mean()
+        assert 0.2 < frac_multi < 0.8
+
+    def test_vote_range_with_tail(self, clean):
+        votes = np.array([r.votes for r in clean.answer_records()])
+        assert votes.min() >= -6
+        assert votes.max() > 3  # some tail
+        assert abs(np.median(votes)) <= 2  # most answers near zero
+
+    def test_word_lengths_around_median_300(self, forum):
+        lengths = [
+            split_text_and_code(t.question.body).word_length
+            for t in forum.dataset.threads[:200]
+        ]
+        assert 150 < np.median(lengths) < 500
+
+    def test_code_length_higher_variance_than_words(self, forum):
+        # Fig. 4e: code length varies much more than word length.
+        posts = [
+            split_text_and_code(t.question.body)
+            for t in forum.dataset.threads[:300]
+        ]
+        words = np.array([p.word_length for p in posts], dtype=float)
+        code = np.array([p.code_length for p in posts], dtype=float)
+        assert np.std(np.log(code + 1)) > np.std(np.log(words + 1))
+
+    def test_topic_match_drives_answering(self, forum, clean):
+        # Answerers should match question topics better than random users.
+        rng = np.random.default_rng(0)
+        matched, random_match = [], []
+        for t in clean.threads[:200]:
+            mix = forum.question_topics[t.thread_id]
+            for u in t.answerers:
+                matched.append(forum.user_interests[u] @ mix)
+            random_match.append(
+                forum.user_interests[rng.integers(SMALL.n_users)] @ mix
+            )
+        assert np.mean(matched) > np.mean(random_match)
+
+    def test_expertise_drives_votes(self, forum, clean):
+        records = clean.answer_records()
+        votes = np.array([r.votes for r in records], dtype=float)
+        expertise = np.array([forum.user_expertise[r.user] for r in records])
+        corr = np.corrcoef(votes, expertise)[0, 1]
+        assert corr > 0.3
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_users": 5},
+            {"n_questions": 5},
+            {"n_topics": 1},
+            {"unanswered_fraction": 1.0},
+            {"duration_days": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            ForumConfig(**kwargs)
+
+    def test_duration_hours(self):
+        assert ForumConfig(duration_days=2).duration_hours == 48.0
+
+
+class TestAnswerExcitation:
+    def test_default_no_excitation(self):
+        config = ForumConfig(n_users=150, n_questions=150)
+        assert config.answer_excitation == 0.0
+
+    def test_excitation_increases_answers(self):
+        base_cfg = ForumConfig(n_users=300, n_questions=300)
+        excited_cfg = ForumConfig(
+            n_users=300, n_questions=300, answer_excitation=0.5
+        )
+        base = generate_forum(base_cfg, seed=11).dataset.num_answers
+        excited = generate_forum(excited_cfg, seed=11).dataset.num_answers
+        assert excited > base * 1.2
+
+    def test_followups_arrive_after_seeds(self):
+        cfg = ForumConfig(n_users=300, n_questions=300, answer_excitation=0.6)
+        forum = generate_forum(cfg, seed=12)
+        for thread in forum.dataset:
+            for answer in thread.answers:
+                assert answer.timestamp >= thread.created_at
+
+    def test_invalid_excitation(self):
+        with pytest.raises(ValueError):
+            ForumConfig(answer_excitation=1.0)
+
+
+class TestDiurnalArrivals:
+    def test_default_uniform(self):
+        assert ForumConfig(n_users=100, n_questions=100).diurnal_amplitude == 0.0
+
+    def test_diurnal_concentrates_daytime(self):
+        """With a strong cycle, more questions arrive in the sine peak
+        half of the day (hours 0-12 of each cycle) than the trough."""
+        cfg = ForumConfig(
+            n_users=200, n_questions=2000, diurnal_amplitude=0.9
+        )
+        forum = generate_forum(cfg, seed=13)
+        hours_of_day = np.array(
+            [t.created_at % 24.0 for t in forum.dataset]
+        )
+        peak = np.sum(hours_of_day < 12.0)
+        trough = np.sum(hours_of_day >= 12.0)
+        assert peak > trough * 1.3
+
+    def test_uniform_is_flat(self):
+        cfg = ForumConfig(n_users=200, n_questions=2000)
+        forum = generate_forum(cfg, seed=13)
+        hours_of_day = np.array(
+            [t.created_at % 24.0 for t in forum.dataset]
+        )
+        peak = np.sum(hours_of_day < 12.0)
+        trough = np.sum(hours_of_day >= 12.0)
+        assert 0.8 < peak / trough < 1.25
+
+    def test_question_count_preserved(self):
+        cfg = ForumConfig(
+            n_users=100, n_questions=150, diurnal_amplitude=0.5
+        )
+        forum = generate_forum(cfg, seed=14)
+        assert len(forum.dataset) == 150
+
+    def test_times_sorted_within_window(self):
+        cfg = ForumConfig(
+            n_users=100, n_questions=150, diurnal_amplitude=0.5
+        )
+        forum = generate_forum(cfg, seed=15)
+        times = [t.created_at for t in forum.dataset]
+        assert times == sorted(times)
+        assert all(0 <= t <= cfg.duration_hours for t in times)
+
+    def test_invalid_amplitude(self):
+        with pytest.raises(ValueError):
+            ForumConfig(diurnal_amplitude=1.0)

@@ -1,0 +1,91 @@
+"""Tests for repro.forum.io — dataset persistence."""
+
+import json
+
+import pytest
+
+from repro.forum.dataset import ForumDataset
+from repro.forum.generator import ForumConfig, generate_forum
+from repro.forum.io import (
+    load_dataset,
+    save_dataset,
+    thread_from_dict,
+    thread_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    forum = generate_forum(ForumConfig(n_users=60, n_questions=40), seed=3)
+    return forum.dataset
+
+
+class TestRoundTrip:
+    def test_json_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "forum.jsonl"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == len(dataset)
+        for orig, back in zip(dataset, loaded):
+            assert orig.thread_id == back.thread_id
+            assert orig.asker == back.asker
+            assert orig.question.body == back.question.body
+            assert [a.post_id for a in orig.answers] == [
+                a.post_id for a in back.answers
+            ]
+            assert [a.votes for a in orig.answers] == [
+                a.votes for a in back.answers
+            ]
+
+    def test_gzip_roundtrip(self, dataset, tmp_path):
+        path = tmp_path / "forum.jsonl.gz"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == len(dataset)
+        # The gz file must actually be gzip (magic bytes).
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_empty_dataset(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        save_dataset(ForumDataset([]), path)
+        assert len(load_dataset(path)) == 0
+
+    def test_thread_dict_roundtrip(self, dataset):
+        thread = dataset.threads[0]
+        back = thread_from_dict(thread_to_dict(thread))
+        assert back.thread_id == thread.thread_id
+        assert len(back.answers) == len(thread.answers)
+
+    def test_timestamps_preserved_exactly(self, dataset, tmp_path):
+        path = tmp_path / "forum.jsonl"
+        save_dataset(dataset, path)
+        loaded = load_dataset(path)
+        for orig, back in zip(dataset, loaded):
+            assert orig.created_at == back.created_at
+
+
+class TestErrors:
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"not": "a thread"}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            load_dataset(path)
+
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{{{\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_dataset(path)
+
+    def test_unknown_version_rejected(self, dataset):
+        data = thread_to_dict(dataset.threads[0])
+        data["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            thread_from_dict(data)
+
+    def test_blank_lines_skipped(self, dataset, tmp_path):
+        path = tmp_path / "forum.jsonl"
+        save_dataset(dataset, path)
+        text = path.read_text()
+        path.write_text("\n" + text + "\n\n")
+        assert len(load_dataset(path)) == len(dataset)

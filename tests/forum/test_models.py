@@ -1,0 +1,108 @@
+"""Tests for repro.forum.models."""
+
+import pytest
+
+from repro.forum.models import Post, Thread
+
+
+def make_question(thread_id=0, author=1, timestamp=0.0, votes=2):
+    return Post(
+        post_id=0,
+        thread_id=thread_id,
+        author=author,
+        timestamp=timestamp,
+        votes=votes,
+        body="<p>q</p>",
+        is_question=True,
+    )
+
+
+def make_answer(post_id, thread_id=0, author=2, timestamp=1.0, votes=1):
+    return Post(
+        post_id=post_id,
+        thread_id=thread_id,
+        author=author,
+        timestamp=timestamp,
+        votes=votes,
+        body="<p>a</p>",
+        is_question=False,
+    )
+
+
+class TestPost:
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            make_question(timestamp=-1.0)
+
+    def test_frozen(self):
+        post = make_question()
+        with pytest.raises(AttributeError):
+            post.votes = 10
+
+
+class TestThread:
+    def test_basic_properties(self):
+        t = Thread(question=make_question(), answers=[make_answer(1)])
+        assert t.thread_id == 0
+        assert t.asker == 1
+        assert t.answerers == [2]
+        assert t.created_at == 0.0
+        assert len(t.posts) == 2
+
+    def test_root_must_be_question(self):
+        with pytest.raises(ValueError, match="must be a question"):
+            Thread(question=make_answer(1))
+
+    def test_answer_must_not_be_question(self):
+        bad = make_question()
+        with pytest.raises(ValueError):
+            Thread(question=make_question(), answers=[bad])
+
+    def test_answer_thread_id_checked(self):
+        with pytest.raises(ValueError, match="different thread"):
+            Thread(question=make_question(), answers=[make_answer(1, thread_id=9)])
+
+    def test_answers_sorted_by_time(self):
+        t = Thread(
+            question=make_question(),
+            answers=[make_answer(2, timestamp=5.0), make_answer(1, timestamp=2.0)],
+        )
+        assert [a.timestamp for a in t.answers] == [2.0, 5.0]
+
+    def test_add_answer_keeps_order(self):
+        t = Thread(question=make_question(), answers=[make_answer(1, timestamp=3.0)])
+        t.add_answer(make_answer(2, timestamp=1.0))
+        assert [a.post_id for a in t.answers] == [2, 1]
+
+    def test_answerers_deduplicated_in_order(self):
+        t = Thread(
+            question=make_question(),
+            answers=[
+                make_answer(1, author=5, timestamp=1.0),
+                make_answer(2, author=7, timestamp=2.0),
+                make_answer(3, author=5, timestamp=3.0),
+            ],
+        )
+        assert t.answerers == [5, 7]
+
+    def test_response_time(self):
+        t = Thread(
+            question=make_question(timestamp=10.0),
+            answers=[make_answer(1, timestamp=12.5)],
+        )
+        assert t.response_time(2) == pytest.approx(2.5)
+
+    def test_response_time_unknown_user_raises(self):
+        t = Thread(question=make_question(), answers=[make_answer(1)])
+        with pytest.raises(KeyError):
+            t.response_time(99)
+
+    def test_answer_by_returns_first(self):
+        t = Thread(
+            question=make_question(),
+            answers=[
+                make_answer(1, author=5, timestamp=1.0, votes=3),
+                make_answer(2, author=5, timestamp=2.0, votes=9),
+            ],
+        )
+        assert t.answer_by(5).post_id == 1

@@ -1,0 +1,78 @@
+"""Tests for repro.forum.repair."""
+
+import pytest
+
+from repro.forum.dataset import ForumDataset
+from repro.forum.models import Post, Thread
+from repro.forum.repair import repair_dataset
+from repro.forum.validation import validate_dataset
+
+
+def post(pid, tid, author, ts, question=False):
+    return Post(
+        post_id=pid,
+        thread_id=tid,
+        author=author,
+        timestamp=ts,
+        votes=0,
+        body="<p>x</p>",
+        is_question=question,
+    )
+
+
+def dirty_dataset():
+    t0 = Thread(
+        question=post(0, 0, 1, 10.0, question=True),
+        answers=[
+            post(1, 0, 2, 12.0),  # fine
+            post(2, 0, 3, 8.0),  # before question
+            post(3, 0, 1, 13.0),  # self-answer
+        ],
+    )
+    t1 = Thread(
+        question=post(10, 1, 4, 20.0, question=True),
+        answers=[post(1, 1, 5, 21.0)],  # duplicate post id (1 used in t0)
+    )
+    return ForumDataset([t0, t1])
+
+
+class TestRepair:
+    def test_removes_all_violations(self):
+        repaired, report = repair_dataset(dirty_dataset())
+        assert report.answers_dropped_before_question == 1
+        assert report.answers_dropped_self_answer == 1
+        assert report.answers_dropped_duplicate_id == 1
+        check = validate_dataset(repaired)
+        assert check.ok
+
+    def test_keeps_valid_answers(self):
+        repaired, _ = repair_dataset(dirty_dataset())
+        assert repaired.thread(0).answerers == [2]
+
+    def test_threads_without_answers_kept(self):
+        repaired, _ = repair_dataset(dirty_dataset())
+        assert 1 in repaired
+        assert repaired.thread(1).answers == []
+
+    def test_duplicate_question_id_drops_thread(self):
+        t0 = Thread(question=post(0, 0, 1, 0.0, question=True))
+        t1 = Thread(question=post(0, 1, 2, 1.0, question=True))
+        repaired, report = repair_dataset(ForumDataset([t0, t1]))
+        assert len(repaired) == 1
+        assert report.threads_dropped_duplicate_question_id == 1
+
+    def test_clean_dataset_untouched(self):
+        from repro.forum.generator import ForumConfig, generate_forum
+
+        forum = generate_forum(ForumConfig(n_users=60, n_questions=50), seed=1)
+        clean, _ = forum.dataset.preprocess()
+        repaired, report = repair_dataset(clean)
+        assert len(repaired) == len(clean)
+        assert repaired.num_answers == clean.num_answers
+        assert report == type(report)(0, 0, 0, 0)
+
+    def test_idempotent(self):
+        once, _ = repair_dataset(dirty_dataset())
+        twice, report = repair_dataset(once)
+        assert twice.num_answers == once.num_answers
+        assert report == type(report)(0, 0, 0, 0)

@@ -1,0 +1,106 @@
+"""Tests for repro.forum.stats."""
+
+import numpy as np
+import pytest
+
+from repro.forum.dataset import ForumDataset
+from repro.forum.generator import ForumConfig, generate_forum
+from repro.forum.models import Post, Thread
+from repro.forum.stats import (
+    answer_activity_cdf,
+    ecdf,
+    summarize_dataset,
+    summarize_graphs,
+    vote_time_correlation,
+)
+
+
+@pytest.fixture(scope="module")
+def clean():
+    forum = generate_forum(ForumConfig(n_users=300, n_questions=400), seed=1)
+    dataset, _ = forum.dataset.preprocess()
+    return dataset
+
+
+class TestEcdf:
+    def test_values_sorted_probs_to_one(self):
+        x, y = ecdf(np.array([3.0, 1.0, 2.0]))
+        np.testing.assert_array_equal(x, [1.0, 2.0, 3.0])
+        np.testing.assert_allclose(y, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ecdf(np.array([]))
+
+
+class TestSummaries:
+    def test_dataset_summary_counts(self, clean):
+        s = summarize_dataset(clean)
+        assert s.n_questions == len(clean)
+        assert s.n_answers == clean.num_answers
+        assert s.n_users == len(clean.users)
+        assert 0 < s.answer_matrix_density < 1
+
+    def test_graph_summary_dense_geq_qa(self, clean):
+        # Fig. 2 / Sec. III-A: the dense graph has higher average degree.
+        graphs = summarize_graphs(clean)
+        assert graphs["dense"].average_degree >= graphs["qa"].average_degree
+        assert graphs["qa"].n_nodes == graphs["dense"].n_nodes
+
+    def test_graphs_are_disconnected_like_paper(self):
+        # Paper observes both SLN graphs are disconnected.  Disconnection
+        # needs enough users relative to questions, so use a sparser forum.
+        forum = generate_forum(ForumConfig(n_users=800, n_questions=500), seed=1)
+        dataset, _ = forum.dataset.preprocess()
+        graphs = summarize_graphs(dataset)
+        assert graphs["qa"].n_components > 1
+
+
+class TestVoteTimeCorrelation:
+    def test_fields(self, clean):
+        corr = vote_time_correlation(clean)
+        assert set(corr) == {"pearson", "spearman", "n_pairs"}
+        assert -1 <= corr["pearson"] <= 1
+
+    def test_requires_answers(self):
+        empty = ForumDataset([])
+        with pytest.raises(ValueError):
+            vote_time_correlation(empty)
+
+    def test_detects_planted_correlation(self):
+        # Sanity check the statistic itself on hand-built correlated data.
+        threads = []
+        for i in range(30):
+            q = Post(
+                post_id=2 * i,
+                thread_id=i,
+                author=0,
+                timestamp=0.0,
+                votes=0,
+                body="",
+                is_question=True,
+            )
+            a = Post(
+                post_id=2 * i + 1,
+                thread_id=i,
+                author=1,
+                timestamp=float(i + 1),
+                votes=i,  # votes grow with delay -> strong correlation
+                body="",
+                is_question=False,
+            )
+            threads.append(Thread(question=q, answers=[a]))
+        corr = vote_time_correlation(ForumDataset(threads))
+        assert corr["pearson"] > 0.95
+
+
+class TestActivityCdf:
+    def test_cdf_shape(self, clean):
+        x, y = answer_activity_cdf(clean)
+        assert len(x) == len(y)
+        assert y[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(x) >= 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            answer_activity_cdf(ForumDataset([]))

@@ -1,0 +1,79 @@
+"""Tests for repro.forum.validation."""
+
+import pytest
+
+from repro.forum.dataset import ForumDataset
+from repro.forum.generator import ForumConfig, generate_forum
+from repro.forum.models import Post, Thread
+from repro.forum.validation import validate_dataset
+
+
+def post(pid, tid, author, ts, body="<p>x</p>", question=False):
+    return Post(
+        post_id=pid,
+        thread_id=tid,
+        author=author,
+        timestamp=ts,
+        votes=0,
+        body=body,
+        is_question=question,
+    )
+
+
+class TestCleanData:
+    def test_generated_preprocessed_forum_is_clean(self):
+        forum = generate_forum(ForumConfig(n_users=80, n_questions=60), seed=0)
+        clean, _ = forum.dataset.preprocess()
+        report = validate_dataset(clean)
+        # Preprocessing removes self-answers-by-construction; the
+        # generator never creates them either.
+        assert not report.by_code("self_answer")
+        assert not report.by_code("duplicate_post_id")
+        assert not report.by_code("answer_before_question")
+        assert report.ok or set(report.summary()) <= {"empty_body"}
+
+    def test_empty_dataset_ok(self):
+        assert validate_dataset(ForumDataset([])).ok
+
+
+class TestViolations:
+    def test_duplicate_post_id(self):
+        t0 = Thread(question=post(1, 0, 1, 0.0, question=True))
+        t1 = Thread(question=post(1, 1, 2, 1.0, question=True))
+        report = validate_dataset(ForumDataset([t0, t1]))
+        assert len(report.by_code("duplicate_post_id")) == 1
+
+    def test_answer_before_question(self):
+        t = Thread(
+            question=post(0, 0, 1, 5.0, question=True),
+            answers=[post(1, 0, 2, 3.0)],
+        )
+        report = validate_dataset(ForumDataset([t]))
+        issues = report.by_code("answer_before_question")
+        assert len(issues) == 1
+        assert issues[0].thread_id == 0
+
+    def test_self_answer(self):
+        t = Thread(
+            question=post(0, 0, 7, 0.0, question=True),
+            answers=[post(1, 0, 7, 1.0)],
+        )
+        report = validate_dataset(ForumDataset([t]))
+        assert len(report.by_code("self_answer")) == 1
+
+    def test_empty_body(self):
+        t = Thread(question=post(0, 0, 1, 0.0, body="  ", question=True))
+        report = validate_dataset(ForumDataset([t]))
+        assert len(report.by_code("empty_body")) == 1
+
+    def test_summary_counts(self):
+        t = Thread(
+            question=post(0, 0, 7, 5.0, body="", question=True),
+            answers=[post(1, 0, 7, 3.0)],
+        )
+        report = validate_dataset(ForumDataset([t]))
+        summary = report.summary()
+        assert summary["self_answer"] == 1
+        assert summary["answer_before_question"] == 1
+        assert summary["empty_body"] == 1
+        assert not report.ok

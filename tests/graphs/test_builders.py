@@ -1,0 +1,66 @@
+"""Tests for repro.graphs.builders."""
+
+import pytest
+
+from repro.graphs.builders import build_dense_graph, build_qa_graph
+
+# Thread participant tuples: (asker, [answerers])
+THREADS = [
+    ("alice", ["bob", "carol"]),
+    ("bob", ["dave"]),
+    ("eve", []),  # unanswered thread: asker still becomes a node
+]
+
+
+class TestQAGraph:
+    def test_asker_answerer_links(self):
+        g = build_qa_graph(THREADS)
+        assert g.has_edge("alice", "bob")
+        assert g.has_edge("alice", "carol")
+        assert g.has_edge("bob", "dave")
+
+    def test_no_answerer_answerer_links(self):
+        g = build_qa_graph(THREADS)
+        assert not g.has_edge("bob", "carol")
+
+    def test_asker_without_answers_is_isolated(self):
+        g = build_qa_graph(THREADS)
+        assert "eve" in g
+        assert g.degree("eve") == 0
+
+    def test_symmetric(self):
+        g = build_qa_graph(THREADS)
+        for u, v in g.edges():
+            assert g.has_edge(v, u)
+
+    def test_self_answer_ignored(self):
+        g = build_qa_graph([("u", ["u"])])
+        assert g.num_edges == 0
+
+
+class TestDenseGraph:
+    def test_includes_qa_links(self):
+        g = build_dense_graph(THREADS)
+        assert g.has_edge("alice", "bob")
+        assert g.has_edge("alice", "carol")
+
+    def test_answerers_linked_to_each_other(self):
+        g = build_dense_graph(THREADS)
+        assert g.has_edge("bob", "carol")
+
+    def test_dense_is_superset_of_qa(self):
+        qa = build_qa_graph(THREADS)
+        dense = build_dense_graph(THREADS)
+        for u, v in qa.edges():
+            assert dense.has_edge(u, v)
+        assert dense.num_edges >= qa.num_edges
+
+    def test_average_degree_higher_or_equal(self):
+        # Paper Sec. III-A: 2.6 in G_QA rises to 3.7 in G_D.
+        qa = build_qa_graph(THREADS)
+        dense = build_dense_graph(THREADS)
+        assert dense.average_degree() >= qa.average_degree()
+
+    def test_duplicate_answerers_deduplicated(self):
+        g = build_dense_graph([("a", ["b", "b", "c"])])
+        assert g.num_edges == 3  # a-b, a-c, b-c

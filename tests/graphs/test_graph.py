@@ -1,0 +1,109 @@
+"""Tests for repro.graphs.graph."""
+
+import pytest
+
+from repro.graphs.graph import UndirectedGraph
+
+
+def path_graph(n):
+    g = UndirectedGraph()
+    for i in range(n - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestConstruction:
+    def test_add_edge_creates_nodes(self):
+        g = UndirectedGraph()
+        g.add_edge("a", "b")
+        assert "a" in g and "b" in g
+        assert g.num_edges == 1
+
+    def test_self_loop_ignored(self):
+        g = UndirectedGraph()
+        g.add_edge("a", "a")
+        assert g.num_edges == 0
+        # Node is not created either since the edge was rejected outright.
+
+    def test_duplicate_edge_idempotent(self):
+        g = UndirectedGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 1)
+        assert g.num_edges == 1
+
+    def test_add_isolated_node(self):
+        g = UndirectedGraph()
+        g.add_node("x")
+        assert g.num_nodes == 1
+        assert g.degree("x") == 0
+
+    def test_add_edges_bulk(self):
+        g = UndirectedGraph()
+        g.add_edges([(1, 2), (2, 3)])
+        assert g.num_edges == 2
+
+
+class TestQueries:
+    def test_symmetry(self):
+        g = UndirectedGraph()
+        g.add_edge("u", "v")
+        assert g.has_edge("u", "v") and g.has_edge("v", "u")
+        assert "v" in g.neighbors("u")
+        assert "u" in g.neighbors("v")
+
+    def test_edges_iterated_once(self):
+        g = path_graph(4)
+        edges = list(g.edges())
+        assert len(edges) == 3
+        normalized = {frozenset(e) for e in edges}
+        assert len(normalized) == 3
+
+    def test_average_degree(self):
+        g = path_graph(3)  # degrees 1, 2, 1
+        assert g.average_degree() == pytest.approx(4 / 3)
+
+    def test_average_degree_empty(self):
+        assert UndirectedGraph().average_degree() == 0.0
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            UndirectedGraph().neighbors("missing")
+
+
+class TestTraversal:
+    def test_bfs_distances_path(self):
+        g = path_graph(5)
+        dist = g.bfs_distances(0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_unreachable_excluded(self):
+        g = UndirectedGraph()
+        g.add_edge(1, 2)
+        g.add_node(3)
+        assert 3 not in g.bfs_distances(1)
+
+    def test_bfs_unknown_source_raises(self):
+        with pytest.raises(KeyError):
+            path_graph(3).bfs_distances(99)
+
+    def test_connected_components_sorted_by_size(self):
+        g = UndirectedGraph()
+        g.add_edges([(1, 2), (2, 3)])
+        g.add_edge("a", "b")
+        g.add_node("solo")
+        comps = g.connected_components()
+        assert [len(c) for c in comps] == [3, 2, 1]
+        assert comps[0] == {1, 2, 3}
+
+    def test_subgraph_induced(self):
+        g = UndirectedGraph()
+        g.add_edges([(1, 2), (2, 3), (1, 3)])
+        sub = g.subgraph([1, 2])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert not sub.has_edge(1, 3)
+
+    def test_subgraph_with_absent_nodes(self):
+        g = path_graph(3)
+        sub = g.subgraph([0, 99])
+        assert sub.num_nodes == 1

@@ -1,0 +1,79 @@
+"""Tests for repro.graphs.link_metrics — cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import UndirectedGraph
+from repro.graphs.link_metrics import (
+    common_neighbors,
+    jaccard_coefficient,
+    resource_allocation_index,
+)
+
+
+def triangle_plus_tail():
+    g = UndirectedGraph()
+    g.add_edges([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+    return g
+
+
+class TestResourceAllocation:
+    def test_known_value(self):
+        g = triangle_plus_tail()
+        # Common neighbor of a and b is c with degree 3.
+        assert resource_allocation_index(g, "a", "b") == pytest.approx(1 / 3)
+
+    def test_no_common_neighbors_zero(self):
+        g = triangle_plus_tail()
+        assert resource_allocation_index(g, "a", "d") == pytest.approx(
+            1 / 3
+        )  # common neighbor c
+        g2 = UndirectedGraph()
+        g2.add_edge(1, 2)
+        g2.add_edge(3, 4)
+        assert resource_allocation_index(g2, 1, 3) == 0.0
+
+    def test_absent_node_zero(self):
+        g = triangle_plus_tail()
+        assert resource_allocation_index(g, "a", "zz") == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 12), st.floats(0.2, 0.9), st.integers(0, 100))
+    def test_matches_networkx(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        g = UndirectedGraph()
+        nxg = nx.Graph()
+        for i in range(n):
+            g.add_node(i)
+            nxg.add_node(i)
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.uniform() < p:
+                    g.add_edge(i, j)
+                    nxg.add_edge(i, j)
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        expected = {(u, v): r for u, v, r in nx.resource_allocation_index(nxg, pairs)}
+        for (u, v), r in expected.items():
+            assert resource_allocation_index(g, u, v) == pytest.approx(r)
+
+
+class TestCommonNeighborsAndJaccard:
+    def test_common_neighbors(self):
+        g = triangle_plus_tail()
+        assert common_neighbors(g, "a", "b") == 1
+        assert common_neighbors(g, "b", "d") == 1  # via c
+        assert common_neighbors(g, "a", "missing") == 0
+
+    def test_jaccard(self):
+        g = triangle_plus_tail()
+        # Gamma_a = {b, c}, Gamma_b = {a, c}: intersection {c}, union {a,b,c}.
+        assert jaccard_coefficient(g, "a", "b") == pytest.approx(1 / 3)
+
+    def test_jaccard_isolated_zero(self):
+        g = UndirectedGraph()
+        g.add_node(1)
+        g.add_node(2)
+        assert jaccard_coefficient(g, 1, 2) == 0.0

@@ -1,0 +1,101 @@
+"""Tests for repro.graphs.statistics — cross-checked against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.graph import UndirectedGraph
+from repro.graphs.statistics import (
+    average_clustering,
+    degree_assortativity,
+    degree_histogram,
+    local_clustering,
+)
+
+
+def random_graph(n, p, seed):
+    rng = np.random.default_rng(seed)
+    g = UndirectedGraph()
+    nxg = nx.Graph()
+    for i in range(n):
+        g.add_node(i)
+        nxg.add_node(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.uniform() < p:
+                g.add_edge(i, j)
+                nxg.add_edge(i, j)
+    return g, nxg
+
+
+def triangle_with_tail():
+    g = UndirectedGraph()
+    g.add_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+    return g
+
+
+class TestDegreeHistogram:
+    def test_triangle_tail(self):
+        hist = degree_histogram(triangle_with_tail())
+        # Degrees: 2, 2, 3, 1.
+        np.testing.assert_array_equal(hist, [0, 1, 2, 1])
+
+    def test_empty(self):
+        np.testing.assert_array_equal(degree_histogram(UndirectedGraph()), [0])
+
+    def test_sums_to_node_count(self):
+        g, _ = random_graph(20, 0.3, 0)
+        assert degree_histogram(g).sum() == g.num_nodes
+
+
+class TestClustering:
+    def test_triangle_values(self):
+        g = triangle_with_tail()
+        assert local_clustering(g, 0) == 1.0  # both neighbors linked
+        assert local_clustering(g, 2) == pytest.approx(1 / 3)
+        assert local_clustering(g, 3) == 0.0  # degree 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 15), st.floats(0.2, 0.9), st.integers(0, 100))
+    def test_matches_networkx(self, n, p, seed):
+        g, nxg = random_graph(n, p, seed)
+        ours = {v: local_clustering(g, v) for v in g.nodes()}
+        theirs = nx.clustering(nxg)
+        for node in g.nodes():
+            assert ours[node] == pytest.approx(theirs[node], abs=1e-12)
+        assert average_clustering(g) == pytest.approx(
+            nx.average_clustering(nxg), abs=1e-12
+        )
+
+    def test_empty_graph(self):
+        assert average_clustering(UndirectedGraph()) == 0.0
+
+
+class TestAssortativity:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 15), st.floats(0.2, 0.8), st.integers(0, 100))
+    def test_matches_networkx(self, n, p, seed):
+        g, nxg = random_graph(n, p, seed)
+        if g.num_edges < 2:
+            return
+        ours = degree_assortativity(g)
+        theirs = nx.degree_assortativity_coefficient(nxg)
+        if np.isnan(theirs):
+            # Constant degree over edge endpoints: networkx yields nan,
+            # we define the correlation as 0.
+            assert ours == 0.0
+            return
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_star_is_disassortative(self):
+        g = UndirectedGraph()
+        for leaf in range(1, 6):
+            g.add_edge(0, leaf)
+        assert degree_assortativity(g) < 0.0
+
+    def test_no_edges_zero(self):
+        g = UndirectedGraph()
+        g.add_node(1)
+        assert degree_assortativity(g) == 0.0

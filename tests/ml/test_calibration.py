@@ -1,0 +1,85 @@
+"""Tests for repro.ml.calibration."""
+
+import numpy as np
+import pytest
+
+from repro.ml.calibration import PlattCalibrator, brier_score, reliability_curve
+
+
+def miscalibrated_data(n=3000, seed=0):
+    """True P(y|p) = sigmoid(2 * logit(p)): overconfident scores."""
+    rng = np.random.default_rng(seed)
+    p = rng.uniform(0.05, 0.95, size=n)
+    logit = np.log(p / (1 - p))
+    true_p = 1 / (1 + np.exp(-0.5 * logit))  # flatter than reported
+    y = (rng.uniform(size=n) < true_p).astype(float)
+    return p, y
+
+
+class TestBrier:
+    def test_perfect_zero(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+
+    def test_known_value(self):
+        assert brier_score([1, 0], [0.5, 0.5]) == pytest.approx(0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            brier_score([1], [1.5])
+        with pytest.raises(ValueError):
+            brier_score([], [])
+        with pytest.raises(ValueError):
+            brier_score([1, 0], [0.5])
+
+
+class TestReliabilityCurve:
+    def test_calibrated_data_on_diagonal(self):
+        rng = np.random.default_rng(1)
+        p = rng.uniform(size=20000)
+        y = (rng.uniform(size=20000) < p).astype(float)
+        mean_pred, observed, counts = reliability_curve(y, p, n_bins=10)
+        np.testing.assert_allclose(mean_pred, observed, atol=0.05)
+        assert counts.sum() == 20000
+
+    def test_empty_bins_dropped(self):
+        p = np.array([0.05, 0.06, 0.95])
+        y = np.array([0.0, 0.0, 1.0])
+        mean_pred, observed, counts = reliability_curve(y, p, n_bins=10)
+        assert len(mean_pred) == 2
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            reliability_curve([1.0], [0.5], n_bins=1)
+
+
+class TestPlatt:
+    def test_improves_brier_on_miscalibrated_scores(self):
+        p, y = miscalibrated_data()
+        half = len(p) // 2
+        calibrator = PlattCalibrator().fit(p[:half], y[:half])
+        before = brier_score(y[half:], p[half:])
+        after = brier_score(y[half:], calibrator.transform(p[half:]))
+        assert after < before
+
+    def test_identity_on_calibrated_scores(self):
+        rng = np.random.default_rng(2)
+        p = rng.uniform(0.05, 0.95, size=5000)
+        y = (rng.uniform(size=5000) < p).astype(float)
+        calibrator = PlattCalibrator().fit(p, y)
+        # Near-identity mapping: a stays near 1, b near 0.
+        assert calibrator.a_ == pytest.approx(1.0, abs=0.25)
+        assert calibrator.b_ == pytest.approx(0.0, abs=0.25)
+
+    def test_output_is_probability(self):
+        p, y = miscalibrated_data(seed=3)
+        calibrator = PlattCalibrator().fit(p, y)
+        out = calibrator.transform(p)
+        assert np.all((out >= 0) & (out <= 1))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PlattCalibrator().transform([0.5])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(ValueError):
+            PlattCalibrator().fit([0.5, 0.6], [0.0, 2.0])

@@ -1,0 +1,91 @@
+"""Tests for repro.ml.crossval."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.crossval import (
+    kfold_indices,
+    stratified_kfold_indices,
+    train_test_split_indices,
+)
+
+
+class TestKFold:
+    def test_partitions_everything(self):
+        n = 23
+        seen = []
+        for train, test in kfold_indices(n, 5, seed=0):
+            assert len(np.intersect1d(train, test)) == 0
+            assert len(train) + len(test) == n
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(n))
+
+    def test_fold_sizes_balanced(self):
+        sizes = [len(test) for _, test in kfold_indices(20, 4, seed=1)]
+        assert sizes == [5, 5, 5, 5]
+
+    def test_invalid_folds(self):
+        with pytest.raises(ValueError):
+            list(kfold_indices(10, 1))
+        with pytest.raises(ValueError):
+            list(kfold_indices(2, 5))
+
+    @given(st.integers(5, 60), st.integers(2, 5), st.integers(0, 1000))
+    def test_property_partition(self, n, k, seed):
+        all_test = np.concatenate([t for _, t in kfold_indices(n, k, seed=seed)])
+        assert sorted(all_test.tolist()) == list(range(n))
+
+
+class TestStratifiedKFold:
+    def test_heavy_group_in_every_fold(self):
+        # One user with 10 samples must appear in all 5 test folds.
+        groups = ["heavy"] * 10 + ["a", "b", "c", "d", "e"]
+        for train, test in stratified_kfold_indices(groups, 5, seed=0):
+            test_groups = [groups[i] for i in test]
+            assert "heavy" in test_groups
+
+    def test_group_spread_is_uniform(self):
+        groups = ["u"] * 10 + ["v"] * 5
+        counts = []
+        for _, test in stratified_kfold_indices(groups, 5, seed=1):
+            counts.append(sum(1 for i in test if groups[i] == "u"))
+        assert counts == [2, 2, 2, 2, 2]
+
+    def test_partition_complete(self):
+        rng = np.random.default_rng(2)
+        groups = rng.integers(0, 7, size=40).tolist()
+        seen = []
+        for train, test in stratified_kfold_indices(groups, 4, seed=2):
+            assert len(np.intersect1d(train, test)) == 0
+            seen.extend(test.tolist())
+        assert sorted(seen) == list(range(40))
+
+    def test_singleton_groups_rotate(self):
+        # 10 singleton groups over 5 folds: each fold should get exactly 2.
+        groups = [f"g{i}" for i in range(10)]
+        sizes = [len(t) for _, t in stratified_kfold_indices(groups, 5, seed=0)]
+        assert sizes == [2, 2, 2, 2, 2]
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ValueError):
+            list(stratified_kfold_indices(["a"], 2))
+
+
+class TestTrainTestSplit:
+    def test_disjoint_and_complete(self):
+        train, test = train_test_split_indices(50, 0.2, seed=0)
+        assert len(np.intersect1d(train, test)) == 0
+        assert len(train) + len(test) == 50
+        assert len(test) == 10
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split_indices(10, 0.0)
+        with pytest.raises(ValueError):
+            train_test_split_indices(10, 1.0)
+
+    def test_tiny_dataset(self):
+        train, test = train_test_split_indices(2, 0.4, seed=1)
+        assert len(test) == 1 and len(train) == 1

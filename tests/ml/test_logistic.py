@@ -1,0 +1,86 @@
+"""Tests for repro.ml.logistic."""
+
+import numpy as np
+import pytest
+
+from repro.ml.logistic import LogisticRegression
+from repro.ml.metrics import auc_score
+
+
+def make_separable(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 2))
+    y = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(float)
+    return x, y
+
+
+class TestFit:
+    def test_separable_data_high_accuracy(self):
+        x, y = make_separable()
+        model = LogisticRegression().fit(x, y)
+        acc = np.mean(model.predict(x) == y)
+        assert acc > 0.95
+
+    def test_recovers_coefficient_signs(self):
+        x, y = make_separable()
+        model = LogisticRegression().fit(x, y)
+        assert model.coef_[0] > 0
+        assert model.coef_[1] > 0
+        assert model.coef_[0] > model.coef_[1]
+
+    def test_probabilities_in_unit_interval(self):
+        x, y = make_separable()
+        p = LogisticRegression().fit(x, y).predict_proba(x)
+        assert np.all(p >= 0) and np.all(p <= 1)
+
+    def test_auc_beats_chance(self):
+        x, y = make_separable(seed=4)
+        p = LogisticRegression().fit(x, y).predict_proba(x)
+        assert auc_score(y, p) > 0.9
+
+    def test_loss_monotone_overall(self):
+        x, y = make_separable(seed=2)
+        model = LogisticRegression(max_iter=300).fit(x, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_stronger_l2_shrinks_coefficients(self):
+        x, y = make_separable(seed=3)
+        weak = LogisticRegression(l2=1e-4).fit(x, y)
+        strong = LogisticRegression(l2=50.0).fit(x, y)
+        assert np.linalg.norm(strong.coef_) < np.linalg.norm(weak.coef_)
+
+    def test_noisy_labels_still_converge(self):
+        rng = np.random.default_rng(5)
+        x, y = make_separable(seed=5)
+        flip = rng.uniform(size=len(y)) < 0.2
+        y = np.where(flip, 1 - y, y)
+        model = LogisticRegression().fit(x, y)
+        assert np.all(np.isfinite(model.coef_))
+
+
+class TestValidation:
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LogisticRegression().predict_proba(np.zeros((1, 2)))
+
+    def test_non_binary_labels_raise(self):
+        with pytest.raises(ValueError, match="binary"):
+            LogisticRegression().fit(np.zeros((3, 2)), np.array([0, 1, 2]))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.array([0, 1]))
+
+    def test_1d_input_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros(3), np.array([0, 1, 0]))
+
+    def test_negative_l2_raises(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_predict_single_row(self):
+        x, y = make_separable()
+        model = LogisticRegression().fit(x, y)
+        p = model.predict_proba(np.array([1.0, 1.0]))
+        assert p.shape == (1,)

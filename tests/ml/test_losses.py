@@ -1,0 +1,130 @@
+"""Tests for repro.ml.losses."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.losses import (
+    BinaryCrossEntropy,
+    MeanSquaredError,
+    PoissonNLL,
+    get_loss,
+)
+
+
+def numeric_gradient(loss, pred, target, eps=1e-6):
+    grad = np.zeros_like(pred)
+    flat = pred.ravel()
+    gflat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = loss.value(pred, target)
+        flat[i] = orig - eps
+        down = loss.value(pred, target)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestMSE:
+    def test_zero_when_equal(self):
+        y = np.array([1.0, -2.0, 3.0])
+        assert MeanSquaredError().value(y, y) == 0.0
+
+    def test_known_value(self):
+        pred = np.array([1.0, 2.0])
+        target = np.array([0.0, 0.0])
+        assert MeanSquaredError().value(pred, target) == pytest.approx(2.5)
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(1)
+        pred = rng.normal(size=(4, 2))
+        target = rng.normal(size=(4, 2))
+        loss = MeanSquaredError()
+        np.testing.assert_allclose(
+            loss.gradient(pred, target),
+            numeric_gradient(loss, pred, target),
+            atol=1e-6,
+        )
+
+    @given(
+        hnp.arrays(dtype=float, shape=5, elements=st.floats(-100, 100)),
+        hnp.arrays(dtype=float, shape=5, elements=st.floats(-100, 100)),
+    )
+    def test_non_negative(self, pred, target):
+        assert MeanSquaredError().value(pred, target) >= 0.0
+
+
+class TestBCE:
+    def test_perfect_prediction_near_zero(self):
+        pred = np.array([0.999999, 0.000001])
+        target = np.array([1.0, 0.0])
+        assert BinaryCrossEntropy().value(pred, target) < 1e-5
+
+    def test_known_value_at_half(self):
+        pred = np.array([0.5])
+        target = np.array([1.0])
+        assert BinaryCrossEntropy().value(pred, target) == pytest.approx(np.log(2))
+
+    def test_clipping_handles_exact_zero_one(self):
+        pred = np.array([0.0, 1.0])
+        target = np.array([1.0, 0.0])
+        assert np.isfinite(BinaryCrossEntropy().value(pred, target))
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        pred = rng.uniform(0.05, 0.95, size=6)
+        target = rng.integers(0, 2, size=6).astype(float)
+        loss = BinaryCrossEntropy()
+        np.testing.assert_allclose(
+            loss.gradient(pred, target),
+            numeric_gradient(loss, pred, target),
+            atol=1e-5,
+        )
+
+
+class TestPoissonNLL:
+    def test_minimized_at_target(self):
+        # For a single observation the NLL lam - t*log(lam) is minimized at lam = t.
+        loss = PoissonNLL()
+        target = np.array([3.0])
+        at_target = loss.value(np.array([3.0]), target)
+        for lam in (1.0, 2.0, 4.0, 10.0):
+            assert loss.value(np.array([lam]), target) > at_target
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        pred = rng.uniform(0.5, 5.0, size=6)
+        target = rng.poisson(2.0, size=6).astype(float)
+        loss = PoissonNLL()
+        np.testing.assert_allclose(
+            loss.gradient(pred, target),
+            numeric_gradient(loss, pred, target),
+            atol=1e-5,
+        )
+
+    def test_gradient_zero_at_optimum(self):
+        loss = PoissonNLL()
+        target = np.array([2.0, 5.0])
+        grad = loss.gradient(target.copy(), target)
+        np.testing.assert_allclose(grad, 0.0, atol=1e-12)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("mse", MeanSquaredError),
+            ("bce", BinaryCrossEntropy),
+            ("poisson_nll", PoissonNLL),
+        ],
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(get_loss(name), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            get_loss("hinge")

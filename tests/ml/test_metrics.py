@@ -1,0 +1,131 @@
+"""Tests for repro.ml.metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    auc_score,
+    mae,
+    pearson_correlation,
+    rmse,
+    roc_curve,
+    spearman_correlation,
+)
+
+
+class TestAUC:
+    def test_perfect_classifier(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc_score(y, s) == 1.0
+
+    def test_inverted_classifier(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc_score(y, s) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=2000)
+        if y.sum() in (0, len(y)):  # pragma: no cover - astronomically unlikely
+            pytest.skip("degenerate draw")
+        s = rng.uniform(size=2000)
+        assert abs(auc_score(y, s) - 0.5) < 0.05
+
+    def test_ties_give_half_credit(self):
+        y = np.array([0, 1])
+        s = np.array([0.5, 0.5])
+        assert auc_score(y, s) == 0.5
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            auc_score(np.array([1, 1]), np.array([0.1, 0.2]))
+
+    def test_non_binary_raises(self):
+        with pytest.raises(ValueError):
+            auc_score(np.array([0, 2]), np.array([0.1, 0.2]))
+
+    @given(st.integers(1, 20), st.integers(1, 20), st.integers(0, 10_000))
+    def test_monotone_transform_invariance(self, n_pos, n_neg, seed):
+        rng = np.random.default_rng(seed)
+        y = np.r_[np.ones(n_pos), np.zeros(n_neg)]
+        s = rng.normal(size=n_pos + n_neg)
+        base = auc_score(y, s)
+        assert auc_score(y, 3 * s + 7) == pytest.approx(base)
+        assert auc_score(y, np.exp(s)) == pytest.approx(base)
+
+    def test_matches_roc_trapezoid(self):
+        rng = np.random.default_rng(5)
+        y = rng.integers(0, 2, size=200)
+        s = rng.normal(size=200) + y  # informative scores
+        fpr, tpr, _ = roc_curve(y, s)
+        assert auc_score(y, s) == pytest.approx(np.trapezoid(tpr, fpr), abs=1e-9)
+
+
+class TestROC:
+    def test_endpoints(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.array([0.1, 0.9, 0.4, 0.6])
+        fpr, tpr, thr = roc_curve(y, s)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+        assert thr[0] == np.inf
+
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(1)
+        y = rng.integers(0, 2, size=100)
+        s = rng.normal(size=100)
+        fpr, tpr, _ = roc_curve(y, s)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+
+class TestRegressionMetrics:
+    def test_rmse_known(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_rmse_zero_for_equal(self):
+        assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_mae_known(self):
+        assert mae([0, 0], [3, -4]) == pytest.approx(3.5)
+
+    def test_rmse_ge_mae(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        assert rmse(a, b) >= mae(a, b)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rmse([], [])
+        with pytest.raises(ValueError):
+            mae([], [])
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            rmse([1, 2], [1])
+
+
+class TestCorrelations:
+    def test_pearson_perfect_linear(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_pearson_constant_input_is_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_spearman_monotone_nonlinear(self):
+        x = np.arange(1.0, 11.0)
+        assert spearman_correlation(x, x**3) == pytest.approx(1.0)
+
+    def test_spearman_with_ties(self):
+        x = np.array([1.0, 1.0, 2.0, 3.0])
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert -1.0 <= spearman_correlation(x, y) <= 1.0
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(ValueError):
+            pearson_correlation([1.0], [2.0])

@@ -1,0 +1,173 @@
+"""Tests for repro.ml.network — including full gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.ml.losses import MeanSquaredError
+from repro.ml.network import MLP, Dense
+from repro.ml.optimizers import Adam
+
+
+def network_loss(net, x, y, loss):
+    return loss.value(net.forward(x), y)
+
+
+def numeric_param_gradients(net, x, y, loss, eps=1e-6):
+    grads = []
+    for p in net.parameters():
+        g = np.zeros_like(p)
+        flat = p.ravel()
+        gflat = g.ravel()
+        for i in range(flat.size):
+            orig = flat[i]
+            flat[i] = orig + eps
+            up = network_loss(net, x, y, loss)
+            flat[i] = orig - eps
+            down = network_loss(net, x, y, loss)
+            flat[i] = orig
+            gflat[i] = (up - down) / (2 * eps)
+        grads.append(g)
+    return grads
+
+
+class TestDense:
+    def test_forward_shape(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(3, 5, "relu", rng=rng)
+        out = layer.forward(np.zeros((7, 3)))
+        assert out.shape == (7, 5)
+
+    def test_identity_layer_is_affine(self):
+        rng = np.random.default_rng(0)
+        layer = Dense(2, 2, "identity", rng=rng)
+        x = np.array([[1.0, 2.0]])
+        np.testing.assert_allclose(
+            layer.forward(x), x @ layer.weight + layer.bias
+        )
+
+    def test_backward_before_forward_raises(self):
+        layer = Dense(2, 2, rng=np.random.default_rng(0))
+        with pytest.raises(RuntimeError, match="before forward"):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_invalid_dims_raise(self):
+        with pytest.raises(ValueError):
+            Dense(0, 2, rng=np.random.default_rng(0))
+
+
+class TestMLPGradients:
+    @pytest.mark.parametrize("hidden_act", ["tanh", "sigmoid", "softplus"])
+    def test_param_gradients_match_numeric(self, hidden_act):
+        # Smooth activations only: numeric diff at ReLU kinks is unreliable.
+        rng = np.random.default_rng(42)
+        net = MLP([4, 6, 3, 1], hidden_activation=hidden_act, seed=1)
+        x = rng.normal(size=(8, 4))
+        y = rng.normal(size=(8, 1))
+        loss = MeanSquaredError()
+        pred = net.forward(x)
+        net.backward(loss.gradient(pred, y))
+        analytic = net.gradients()
+        numeric = numeric_param_gradients(net, x, y, loss)
+        for a, n in zip(analytic, numeric):
+            np.testing.assert_allclose(a, n, atol=1e-5)
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(7)
+        net = MLP([3, 5, 1], hidden_activation="tanh", seed=2)
+        x = rng.normal(size=(4, 3))
+        y = rng.normal(size=(4, 1))
+        loss = MeanSquaredError()
+        pred = net.forward(x)
+        grad_x = net.backward(loss.gradient(pred, y))
+        eps = 1e-6
+        numeric = np.zeros_like(x)
+        for i in range(x.shape[0]):
+            for j in range(x.shape[1]):
+                x[i, j] += eps
+                up = network_loss(net, x, y, loss)
+                x[i, j] -= 2 * eps
+                down = network_loss(net, x, y, loss)
+                x[i, j] += eps
+                numeric[i, j] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(grad_x, numeric, atol=1e-5)
+
+    def test_l2_gradient_contribution(self):
+        net = MLP([2, 3, 1], hidden_activation="tanh", seed=3, l2=0.5)
+        x = np.zeros((2, 2))
+        y = np.zeros((2, 1))
+        loss = MeanSquaredError()
+        pred = net.forward(x)
+        net.backward(loss.gradient(pred, y))
+        # With zero input, first-layer weight gradient is purely the L2 term.
+        np.testing.assert_allclose(
+            net.layers[0].grad_weight, 0.5 * net.layers[0].weight
+        )
+
+
+class TestMLPTraining:
+    def test_fits_linear_function(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 3))
+        w = np.array([1.0, -2.0, 0.5])
+        y = x @ w + 0.3
+        net = MLP([3, 16, 1], hidden_activation="tanh", seed=0)
+        net.fit(
+            x, y, optimizer=Adam(learning_rate=0.01), epochs=300, batch_size=32, seed=0
+        )
+        pred = net.predict(x)
+        assert np.sqrt(np.mean((pred - y) ** 2)) < 0.1
+
+    def test_fits_nonlinear_function(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-2, 2, size=(300, 2))
+        y = np.sin(x[:, 0]) * x[:, 1]
+        net = MLP([2, 32, 32, 1], hidden_activation="relu", seed=1)
+        net.fit(x, y, epochs=400, batch_size=32, seed=1)
+        pred = net.predict(x)
+        assert np.sqrt(np.mean((pred - y) ** 2)) < 0.25
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(100, 2))
+        y = x[:, :1] * 2
+        net = MLP([2, 8, 1], seed=2)
+        result = net.fit(x, y, epochs=50, seed=2)
+        assert result.loss_history[-1] < result.loss_history[0]
+        assert result.final_loss == result.loss_history[-1]
+
+    def test_deterministic_given_seeds(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(50, 2))
+        y = x[:, :1]
+        preds = []
+        for _ in range(2):
+            net = MLP([2, 4, 1], seed=9)
+            net.fit(x, y, epochs=20, seed=9)
+            preds.append(net.predict(x))
+        np.testing.assert_array_equal(preds[0], preds[1])
+
+
+class TestMLPValidation:
+    def test_too_few_layer_sizes(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+
+    def test_mismatched_batch(self):
+        net = MLP([2, 1])
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_empty_dataset(self):
+        net = MLP([2, 1])
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_non_2d_input(self):
+        net = MLP([2, 1])
+        with pytest.raises(ValueError):
+            net.forward(np.zeros(2))
+
+    def test_dims_properties(self):
+        net = MLP([5, 7, 3])
+        assert net.in_dim == 5
+        assert net.out_dim == 3

@@ -1,0 +1,99 @@
+"""Tests for repro.ml.optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.optimizers import SGD, Adam, get_optimizer
+
+
+def quadratic_grad(p):
+    """Gradient of f(p) = 0.5 * ||p - target||^2 with target = [1, -2]."""
+    return p - np.array([1.0, -2.0])
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = np.array([0.0, 0.0])
+        SGD(learning_rate=0.1).step([p], [np.array([1.0, -1.0])])
+        np.testing.assert_allclose(p, [-0.1, 0.1])
+
+    def test_converges_on_quadratic(self):
+        p = np.array([5.0, 5.0])
+        opt = SGD(learning_rate=0.2)
+        for _ in range(200):
+            opt.step([p], [quadratic_grad(p)])
+        np.testing.assert_allclose(p, [1.0, -2.0], atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        losses = {}
+        for mom in (0.0, 0.9):
+            p = np.array([5.0, 5.0])
+            opt = SGD(learning_rate=0.01, momentum=mom)
+            for _ in range(50):
+                opt.step([p], [quadratic_grad(p)])
+            losses[mom] = np.sum((p - np.array([1.0, -2.0])) ** 2)
+        assert losses[0.9] < losses[0.0]
+
+    def test_reset_clears_velocity(self):
+        p = np.array([1.0])
+        opt = SGD(learning_rate=0.1, momentum=0.9)
+        opt.step([p], [np.array([1.0])])
+        opt.reset()
+        assert opt._velocity is None
+
+    @pytest.mark.parametrize("kwargs", [{"learning_rate": 0}, {"momentum": 1.0}])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            SGD(**{"learning_rate": 0.1, **kwargs})
+
+
+class TestAdam:
+    def test_first_step_size_is_learning_rate(self):
+        # With bias correction, the first Adam step is ~lr * sign(grad).
+        p = np.array([0.0])
+        Adam(learning_rate=0.1).step([p], [np.array([3.0])])
+        assert p[0] == pytest.approx(-0.1, rel=1e-5)
+
+    def test_converges_on_quadratic(self):
+        p = np.array([5.0, 5.0])
+        opt = Adam(learning_rate=0.3)
+        for _ in range(500):
+            opt.step([p], [quadratic_grad(p)])
+        np.testing.assert_allclose(p, [1.0, -2.0], atol=1e-4)
+
+    def test_handles_sparse_gradients(self):
+        p = np.array([0.0, 0.0])
+        opt = Adam(learning_rate=0.1)
+        for i in range(10):
+            g = np.array([1.0, 0.0]) if i % 2 == 0 else np.array([0.0, 1.0])
+            opt.step([p], [g])
+        assert np.all(np.isfinite(p))
+
+    def test_reset(self):
+        p = np.array([0.0])
+        opt = Adam()
+        opt.step([p], [np.array([1.0])])
+        opt.reset()
+        assert opt._t == 0 and opt._m is None
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Adam().step([np.zeros(1)], [])
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+
+
+class TestRegistry:
+    def test_by_name(self):
+        assert isinstance(get_optimizer("adam"), Adam)
+        assert isinstance(get_optimizer("sgd", learning_rate=0.5), SGD)
+
+    def test_passthrough(self):
+        opt = Adam()
+        assert get_optimizer(opt) is opt
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown optimizer"):
+            get_optimizer("rmsprop")

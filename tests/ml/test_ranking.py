@@ -1,0 +1,95 @@
+"""Tests for repro.ml.ranking."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.ranking import (
+    mean_reciprocal_rank,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect_top(self):
+        assert precision_at_k(["a", "b", "c"], {"a", "b"}, 2) == 1.0
+        assert recall_at_k(["a", "b", "c"], {"a", "b"}, 2) == 1.0
+
+    def test_miss(self):
+        assert precision_at_k(["x", "y"], {"a"}, 2) == 0.0
+        assert recall_at_k(["x", "y"], {"a"}, 2) == 0.0
+
+    def test_partial(self):
+        assert precision_at_k(["a", "x", "b"], {"a", "b"}, 3) == pytest.approx(2 / 3)
+        assert recall_at_k(["a", "x"], {"a", "b"}, 2) == pytest.approx(0.5)
+
+    def test_k_beyond_list(self):
+        # Precision divides by k even when the list is shorter.
+        assert precision_at_k(["a"], {"a"}, 5) == pytest.approx(0.2)
+
+    def test_empty_ranking(self):
+        assert precision_at_k([], {"a"}, 3) == 0.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            precision_at_k(["a"], {"a"}, 0)
+
+    def test_recall_no_relevant_raises(self):
+        with pytest.raises(ValueError):
+            recall_at_k(["a"], set(), 1)
+
+    @given(st.lists(st.integers(0, 20), unique=True, min_size=1, max_size=15),
+           st.sets(st.integers(0, 20), min_size=1, max_size=10),
+           st.integers(1, 15))
+    def test_bounds(self, ranked, relevant, k):
+        assert 0.0 <= precision_at_k(ranked, relevant, k) <= 1.0
+        assert 0.0 <= recall_at_k(ranked, relevant, k) <= 1.0
+
+
+class TestNDCG:
+    def test_ideal_ranking_is_one(self):
+        assert ndcg_at_k(["a", "b", "x"], {"a", "b"}, 3) == pytest.approx(1.0)
+
+    def test_worst_position_discounted(self):
+        good = ndcg_at_k(["a", "x", "y"], {"a"}, 3)
+        bad = ndcg_at_k(["x", "y", "a"], {"a"}, 3)
+        assert good == pytest.approx(1.0)
+        assert bad < good
+
+    def test_known_value(self):
+        # Relevant at position 2 of 2, one relevant total: DCG = 1/log2(3).
+        got = ndcg_at_k(["x", "a"], {"a"}, 2)
+        assert got == pytest.approx(1.0 / np.log2(3))
+
+    def test_no_relevant_raises(self):
+        with pytest.raises(ValueError):
+            ndcg_at_k(["a"], set(), 1)
+
+    @given(st.lists(st.integers(0, 20), unique=True, min_size=1, max_size=15),
+           st.sets(st.integers(0, 20), min_size=1, max_size=10),
+           st.integers(1, 15))
+    def test_bounds(self, ranked, relevant, k):
+        assert 0.0 <= ndcg_at_k(ranked, relevant, k) <= 1.0 + 1e-12
+
+
+class TestMRR:
+    def test_first_position(self):
+        assert mean_reciprocal_rank([(["a", "b"], {"a"})]) == 1.0
+
+    def test_second_position(self):
+        assert mean_reciprocal_rank([(["x", "a"], {"a"})]) == 0.5
+
+    def test_averages(self):
+        rankings = [(["a"], {"a"}), (["x", "a"], {"a"})]
+        assert mean_reciprocal_rank(rankings) == pytest.approx(0.75)
+
+    def test_no_hit_contributes_zero(self):
+        rankings = [(["x"], {"a"}), (["a"], {"a"})]
+        assert mean_reciprocal_rank(rankings) == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_reciprocal_rank([])

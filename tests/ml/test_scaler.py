@@ -1,0 +1,46 @@
+"""Tests for repro.ml.scaler."""
+
+import numpy as np
+import pytest
+
+from repro.ml.scaler import StandardScaler
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(loc=5.0, scale=3.0, size=(100, 4))
+        z = StandardScaler().fit_transform(x)
+        np.testing.assert_allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_no_nan(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+        np.testing.assert_allclose(z[:, 0], 0.0)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(30, 3))
+        scaler = StandardScaler().fit(x)
+        np.testing.assert_allclose(
+            scaler.inverse_transform(scaler.transform(x)), x, atol=1e-12
+        )
+
+    def test_transform_uses_training_stats(self):
+        train = np.array([[0.0], [2.0]])
+        scaler = StandardScaler().fit(train)
+        np.testing.assert_allclose(scaler.transform(np.array([[1.0]])), [[0.0]])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((1, 1)))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))
+
+    def test_1d_raises(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))

@@ -1,0 +1,72 @@
+"""Tests for repro.ml.significance."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.ml.significance import bootstrap_ci, paired_t_test
+
+
+class TestBootstrapCI:
+    def test_contains_true_mean(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(5.0, 1.0, size=200)
+        low, high = bootstrap_ci(values, seed=1)
+        assert low < 5.0 < high
+        assert low < values.mean() < high
+
+    def test_narrows_with_more_data(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(0, 1, size=20)
+        large = rng.normal(0, 1, size=2000)
+        ls, hs = bootstrap_ci(small, seed=2)
+        ll, hl = bootstrap_ci(large, seed=2)
+        assert (hl - ll) < (hs - ls)
+
+    def test_custom_statistic(self):
+        values = np.array([1.0, 2.0, 3.0, 100.0] * 10)
+        low, high = bootstrap_ci(values, statistic=np.median, seed=3)
+        assert low <= np.median(values) <= high
+        assert high < 50  # the median CI ignores the outlier tail
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([1.0]))
+        with pytest.raises(ValueError):
+            bootstrap_ci(np.array([1.0, 2.0]), confidence=1.0)
+
+
+class TestPairedTTest:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(1.0, 1.0, size=30)
+        b = rng.normal(0.5, 1.0, size=30)
+        ours = paired_t_test(a, b)
+        theirs = scipy_stats.ttest_rel(a, b)
+        assert ours.statistic == pytest.approx(theirs.statistic, rel=1e-9)
+        assert ours.p_value == pytest.approx(theirs.pvalue, rel=1e-9)
+
+    def test_identical_samples_not_significant(self):
+        a = np.array([1.0, 2.0, 3.0])
+        result = paired_t_test(a, a)
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_constant_shift_significant(self):
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        result = paired_t_test(a + 0.5, a)
+        assert result.p_value == 0.0
+        assert result.significant()
+
+    def test_clear_difference_detected(self):
+        rng = np.random.default_rng(3)
+        base = rng.normal(0, 1, size=50)
+        result = paired_t_test(base + 1.0 + rng.normal(0, 0.1, 50), base)
+        assert result.significant(0.01)
+        assert result.mean_difference == pytest.approx(1.0, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [2.0])
+        with pytest.raises(ValueError):
+            paired_t_test([1.0, 2.0], [1.0])

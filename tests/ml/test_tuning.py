@@ -1,0 +1,94 @@
+"""Tests for repro.ml.tuning."""
+
+import pytest
+
+from repro.ml.tuning import GridSearchResult, expand_grid, grid_search
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        combos = expand_grid({"a": [1, 2], "b": ["x", "y"]})
+        assert len(combos) == 4
+        assert {"a": 1, "b": "x"} in combos
+        assert {"a": 2, "b": "y"} in combos
+
+    def test_single_parameter(self):
+        assert expand_grid({"k": [2, 5, 8]}) == [
+            {"k": 2},
+            {"k": 5},
+            {"k": 8},
+        ]
+
+    def test_stable_order(self):
+        combos = expand_grid({"a": [1, 2], "b": [10, 20]})
+        assert combos[0] == {"a": 1, "b": 10}
+        assert combos[1] == {"a": 1, "b": 20}
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ValueError):
+            expand_grid({})
+
+    def test_empty_values_raise(self):
+        with pytest.raises(ValueError):
+            expand_grid({"a": []})
+
+
+class TestGridSearch:
+    def test_finds_maximum(self):
+        result = grid_search(
+            {"x": [-2, -1, 0, 1, 2]},
+            lambda x: -(x - 1) ** 2,
+            higher_is_better=True,
+        )
+        assert result.best_params == {"x": 1}
+        assert result.best_score == 0.0
+
+    def test_finds_minimum(self):
+        result = grid_search(
+            {"x": [0, 1, 2, 3]},
+            lambda x: (x - 2) ** 2,
+            higher_is_better=False,
+        )
+        assert result.best_params == {"x": 2}
+
+    def test_multi_parameter(self):
+        result = grid_search(
+            {"a": [0, 1], "b": [0, 10]},
+            lambda a, b: a + b,
+            higher_is_better=True,
+        )
+        assert result.best_params == {"a": 1, "b": 10}
+        assert len(result.scores) == 4
+
+    def test_ranked_order(self):
+        result = grid_search(
+            {"x": [3, 1, 2]}, lambda x: x, higher_is_better=True
+        )
+        assert [s for _, s in result.ranked()] == [3.0, 2.0, 1.0]
+
+    def test_evaluation_errors_propagate(self):
+        def boom(x):
+            raise RuntimeError("fit failed")
+
+        with pytest.raises(RuntimeError):
+            grid_search({"x": [1]}, boom)
+
+    def test_usable_for_topic_count_selection(self, tmp_path):
+        """End-to-end: pick K by a cheap proxy (planted-topic separation)."""
+        import numpy as np
+
+        from repro.topics.lda import LdaVariational
+
+        rng = np.random.default_rng(0)
+        docs = [
+            rng.integers(0, 10, size=20) if d % 2 == 0 else rng.integers(10, 20, size=20)
+            for d in range(40)
+        ]
+
+        def score(k):
+            model = LdaVariational(k, 20, seed=0, n_iter=15).fit(docs)
+            # Mass concentration: best when topics align with blocks.
+            return float(model.topic_word_.max(axis=1).mean())
+
+        result = grid_search({"k": [1, 2]}, score, higher_is_better=True)
+        assert result.best_params["k"] == 2

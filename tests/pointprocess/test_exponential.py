@@ -1,0 +1,152 @@
+"""Tests for repro.pointprocess.exponential."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from scipy import integrate
+
+from repro.pointprocess.exponential import (
+    conditional_expected_time,
+    expected_response_time,
+    integrated_rate,
+    log_likelihood,
+    rate,
+)
+
+positive = st.floats(0.01, 50.0)
+
+
+class TestRate:
+    def test_initial_value_is_mu(self):
+        assert rate(3.0, 1.0, 0.0) == pytest.approx(3.0)
+
+    def test_decays(self):
+        assert rate(3.0, 2.0, 1.0) == pytest.approx(3.0 * np.exp(-2.0))
+
+    def test_vectorized(self):
+        out = rate(np.array([1.0, 2.0]), np.array([1.0, 1.0]), np.array([0.0, 1.0]))
+        np.testing.assert_allclose(out, [1.0, 2.0 * np.exp(-1.0)])
+
+    @pytest.mark.parametrize("bad", [{"mu": 0.0}, {"omega": -1.0}, {"t": -0.1}])
+    def test_validation(self, bad):
+        kwargs = {"mu": 1.0, "omega": 1.0, "t": 0.0, **bad}
+        with pytest.raises(ValueError):
+            rate(kwargs["mu"], kwargs["omega"], kwargs["t"])
+
+
+class TestIntegratedRate:
+    @given(positive, positive, positive)
+    def test_matches_numeric_integral(self, mu, omega, horizon):
+        numeric, _ = integrate.quad(
+            lambda t: mu * np.exp(-omega * t), 0.0, horizon
+        )
+        assert integrated_rate(mu, omega, horizon) == pytest.approx(
+            numeric, rel=1e-6
+        )
+
+    def test_zero_horizon(self):
+        assert integrated_rate(1.0, 1.0, 0.0) == 0.0
+
+    def test_saturates_at_mu_over_omega(self):
+        assert integrated_rate(4.0, 2.0, 1e6) == pytest.approx(2.0)
+
+    @given(positive, positive)
+    def test_monotone_in_horizon(self, mu, omega):
+        short = integrated_rate(mu, omega, 1.0)
+        long = integrated_rate(mu, omega, 2.0)
+        assert long >= short
+
+
+class TestExpectedResponseTime:
+    @given(positive, positive, st.floats(0.1, 20.0))
+    def test_matches_numeric_first_moment(self, mu, omega, horizon):
+        numeric, _ = integrate.quad(
+            lambda t: t * mu * np.exp(-omega * t), 0.0, horizon
+        )
+        assert expected_response_time(mu, omega, horizon) == pytest.approx(
+            numeric, rel=1e-5, abs=1e-10
+        )
+
+    def test_scales_linearly_in_mu(self):
+        one = expected_response_time(1.0, 0.5, 10.0)
+        three = expected_response_time(3.0, 0.5, 10.0)
+        assert three == pytest.approx(3 * one)
+
+    def test_zero_horizon_is_zero(self):
+        assert expected_response_time(1.0, 1.0, 0.0) == pytest.approx(0.0)
+
+
+class TestConditionalExpectedTime:
+    @given(positive, positive, st.floats(0.1, 20.0))
+    def test_invariant_to_mu(self, mu, omega, horizon):
+        a = conditional_expected_time(mu, omega, horizon)
+        b = conditional_expected_time(mu * 7.0, omega, horizon)
+        assert a == pytest.approx(b, rel=1e-9)
+
+    @given(positive, st.floats(0.1, 20.0))
+    def test_within_horizon(self, omega, horizon):
+        t = conditional_expected_time(1.0, omega, horizon)
+        assert 0.0 <= t <= horizon
+
+    def test_faster_decay_earlier_expectation(self):
+        slow = conditional_expected_time(1.0, 0.1, 10.0)
+        fast = conditional_expected_time(1.0, 5.0, 10.0)
+        assert fast < slow
+
+
+class TestLogLikelihood:
+    def test_hand_computed_value(self):
+        # One event at t=1 with mu=2, omega=1, horizon 5 for one pair.
+        mu, omega, t, d = 2.0, 1.0, 1.0, 5.0
+        expected = (np.log(mu) - omega * t) - mu * (1 - np.exp(-omega * d)) / omega
+        got = log_likelihood(
+            np.array([mu]),
+            np.array([omega]),
+            np.array([t]),
+            np.array([mu]),
+            np.array([omega]),
+            np.array([d]),
+        )
+        assert got == pytest.approx(expected)
+
+    def test_maximized_near_true_mu(self):
+        # With fixed omega, the likelihood of simulated data should peak
+        # near the true mu.
+        rng = np.random.default_rng(0)
+        true_mu, omega, d = 2.0, 1.0, 5.0
+        from repro.pointprocess.simulate import simulate_event_times
+
+        all_times = [simulate_event_times(true_mu, omega, d, rng) for _ in range(300)]
+        def total_ll(mu):
+            ll = 0.0
+            for times in all_times:
+                ll += log_likelihood(
+                    np.full(times.size, mu),
+                    np.full(times.size, omega),
+                    times,
+                    np.array([mu]),
+                    np.array([omega]),
+                    np.array([d]),
+                )
+            return ll
+
+        best = max([0.5, 1.0, 1.5, 2.0, 3.0, 5.0], key=total_ll)
+        assert best in (1.5, 2.0, 3.0)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            log_likelihood(
+                np.ones(2), np.ones(2), np.ones(3), np.ones(1), np.ones(1), np.ones(1)
+            )
+
+    def test_no_events_pure_compensator(self):
+        got = log_likelihood(
+            np.empty(0),
+            np.empty(0),
+            np.empty(0),
+            np.array([1.0]),
+            np.array([1.0]),
+            np.array([2.0]),
+        )
+        assert got == pytest.approx(-(1 - np.exp(-2.0)))

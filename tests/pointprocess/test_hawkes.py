@@ -1,0 +1,200 @@
+"""Tests for repro.pointprocess.hawkes."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.pointprocess.hawkes import (
+    HawkesThreadModel,
+    hawkes_intensity,
+    hawkes_log_likelihood,
+)
+
+
+class TestIntensity:
+    def test_base_only_before_events(self):
+        lam = hawkes_intensity(1.0, np.array([2.0, 3.0]), 2.0, 0.5, 0.3, 1.0)
+        assert lam == pytest.approx(2.0 * np.exp(-0.5))
+
+    def test_jump_after_event(self):
+        before = hawkes_intensity(0.999, np.array([1.0]), 1.0, 0.1, 0.5, 1.0)
+        after = hawkes_intensity(1.001, np.array([1.0]), 1.0, 0.1, 0.5, 1.0)
+        assert after > before
+        assert after - before == pytest.approx(0.5, abs=0.01)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            hawkes_intensity(0.5, np.array([]), 0.0, 1.0, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            hawkes_intensity(0.5, np.array([]), 1.0, 1.0, -0.1, 1.0)
+
+
+class TestLogLikelihood:
+    def test_reduces_to_poisson_when_alpha_zero(self):
+        from repro.pointprocess.exponential import log_likelihood
+
+        times = np.array([0.5, 1.5, 3.0])
+        horizon = 5.0
+        mu, omega = 2.0, 0.6
+        hawkes_ll = hawkes_log_likelihood(times, horizon, mu, omega, 0.0, 1.0)
+        poisson_ll = log_likelihood(
+            np.full(3, mu),
+            np.full(3, omega),
+            times,
+            np.array([mu]),
+            np.array([omega]),
+            np.array([horizon]),
+        )
+        assert hawkes_ll == pytest.approx(poisson_ll)
+
+    def test_compensator_matches_numeric_integral(self):
+        times = np.array([0.7, 1.2, 2.5])
+        horizon, mu, omega, alpha, beta = 4.0, 1.5, 0.4, 0.6, 1.3
+
+        def intensity(t):
+            return hawkes_intensity(t, times, mu, omega, alpha, beta)
+
+        numeric, _ = integrate.quad(intensity, 0, horizon, limit=200)
+        log_term = sum(
+            np.log(hawkes_intensity(t - 1e-9, times, mu, omega, alpha, beta))
+            for t in times
+        )
+        expected = log_term - numeric
+        got = hawkes_log_likelihood(times, horizon, mu, omega, alpha, beta)
+        assert got == pytest.approx(expected, rel=1e-4)
+
+    def test_empty_thread(self):
+        got = hawkes_log_likelihood(np.array([]), 2.0, 1.0, 1.0, 0.5, 1.0)
+        assert got == pytest.approx(-(1 - np.exp(-2.0)))
+
+    def test_out_of_horizon_times_rejected(self):
+        with pytest.raises(ValueError):
+            hawkes_log_likelihood(np.array([5.0]), 2.0, 1.0, 1.0, 0.5, 1.0)
+
+
+class TestSimulationAndFit:
+    @pytest.fixture(scope="class")
+    def fitted_and_truth(self):
+        """Simulate threads from known parameters, then refit."""
+        rng = np.random.default_rng(0)
+        true = HawkesThreadModel(omega=0.4, beta=1.2)
+        true.mu_, true.alpha_ = 0.8, 0.5
+        horizon = 20.0
+        threads = [true.simulate(horizon, rng) for _ in range(400)]
+        model = HawkesThreadModel(omega=0.4, beta=1.2).fit(
+            threads, [horizon] * len(threads)
+        )
+        return model, true, threads, horizon
+
+    def test_simulation_times_valid(self, fitted_and_truth):
+        _, _, threads, horizon = fitted_and_truth
+        for times in threads:
+            assert np.all(times >= 0) and np.all(times <= horizon)
+            assert np.all(np.diff(times) >= 0)
+
+    def test_self_excitation_clusters_events(self):
+        """alpha > 0 produces more events than the base process alone."""
+        rng = np.random.default_rng(1)
+        base = HawkesThreadModel(omega=0.4, beta=1.2)
+        base.mu_, base.alpha_ = 0.8, 0.0
+        excited = HawkesThreadModel(omega=0.4, beta=1.2)
+        excited.mu_, excited.alpha_ = 0.8, 0.6
+        n_base = np.mean([base.simulate(20.0, rng).size for _ in range(300)])
+        n_excited = np.mean(
+            [excited.simulate(20.0, rng).size for _ in range(300)]
+        )
+        assert n_excited > n_base * 1.2
+
+    def test_fit_recovers_parameters(self, fitted_and_truth):
+        model, true, _, _ = fitted_and_truth
+        assert model.mu_ == pytest.approx(true.mu_, rel=0.25)
+        assert model.alpha_ == pytest.approx(true.alpha_, rel=0.3)
+
+    def test_branching_ratio(self, fitted_and_truth):
+        model, _, _, _ = fitted_and_truth
+        assert 0.0 < model.branching_ratio < 1.0
+
+    def test_fitted_likelihood_beats_wrong_params(self, fitted_and_truth):
+        model, _, threads, horizon = fitted_and_truth
+        horizons = [horizon] * len(threads)
+        fitted_ll = model.log_likelihood(threads, horizons)
+        wrong = HawkesThreadModel(omega=0.4, beta=1.2)
+        wrong.mu_, wrong.alpha_ = 3.0, 0.01
+        assert fitted_ll > wrong.log_likelihood(threads, horizons)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HawkesThreadModel(omega=0.0)
+        with pytest.raises(ValueError):
+            HawkesThreadModel().fit([], [])
+        with pytest.raises(ValueError):
+            HawkesThreadModel().fit([np.array([1.0])], [1.0, 2.0])
+        with pytest.raises(RuntimeError):
+            HawkesThreadModel().simulate(1.0, np.random.default_rng(0))
+
+
+class TestAlphaFixed:
+    def test_alpha_pinned(self):
+        rng = np.random.default_rng(3)
+        model = HawkesThreadModel(omega=0.5, beta=1.0)
+        model.mu_, model.alpha_ = 1.0, 0.4
+        threads = [model.simulate(10.0, rng) for _ in range(100)]
+        restricted = HawkesThreadModel(omega=0.5, beta=1.0).fit(
+            threads, [10.0] * 100, alpha_fixed=0.0
+        )
+        assert restricted.alpha_ == 0.0
+        assert restricted.mu_ > 0
+
+    def test_restricted_ll_not_above_full(self):
+        rng = np.random.default_rng(4)
+        truth = HawkesThreadModel(omega=0.5, beta=1.0)
+        truth.mu_, truth.alpha_ = 0.8, 0.5
+        threads = [truth.simulate(15.0, rng) for _ in range(200)]
+        horizons = [15.0] * 200
+        full = HawkesThreadModel(omega=0.5, beta=1.0).fit(threads, horizons)
+        restricted = HawkesThreadModel(omega=0.5, beta=1.0).fit(
+            threads, horizons, alpha_fixed=0.0
+        )
+        assert full.log_likelihood(threads, horizons) >= restricted.log_likelihood(
+            threads, horizons
+        )
+
+
+class TestExpectedCount:
+    def test_matches_simulation(self):
+        rng = np.random.default_rng(5)
+        model = HawkesThreadModel(omega=0.5, beta=1.2)
+        model.mu_, model.alpha_ = 1.0, 0.5
+        horizon = 30.0  # long horizon: truncation error negligible
+        counts = [model.simulate(horizon, rng).size for _ in range(2000)]
+        assert np.mean(counts) == pytest.approx(
+            model.expected_count(horizon), rel=0.07
+        )
+
+    def test_alpha_zero_reduces_to_compensator(self):
+        from repro.pointprocess.exponential import integrated_rate
+
+        model = HawkesThreadModel(omega=0.4, beta=1.0)
+        model.mu_, model.alpha_ = 2.0, 0.0
+        assert model.expected_count(5.0) == pytest.approx(
+            float(integrated_rate(2.0, 0.4, 5.0))
+        )
+
+    def test_excitation_multiplies_count(self):
+        base = HawkesThreadModel(omega=0.4, beta=1.0)
+        base.mu_, base.alpha_ = 1.0, 0.0
+        excited = HawkesThreadModel(omega=0.4, beta=1.0)
+        excited.mu_, excited.alpha_ = 1.0, 0.5
+        assert excited.expected_count(10.0) == pytest.approx(
+            2.0 * base.expected_count(10.0)
+        )
+
+    def test_supercritical_rejected(self):
+        model = HawkesThreadModel(omega=0.4, beta=1.0)
+        model.mu_, model.alpha_ = 1.0, 1.5
+        with pytest.raises(ValueError, match="supercritical"):
+            model.expected_count(5.0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            HawkesThreadModel().expected_count(1.0)

@@ -1,0 +1,165 @@
+"""Tests for repro.pointprocess.model."""
+
+import numpy as np
+import pytest
+
+from repro.ml.optimizers import Adam
+from repro.pointprocess.model import ExcitationPointProcess
+from repro.pointprocess.simulate import simulate_first_event_time
+
+
+def make_training_data(n_pairs=600, horizon=24.0, seed=0):
+    """Pairs whose true excitation depends on a single feature.
+
+    Feature x in [0, 1]; true mu = 0.05 + 0.6 x, true omega = 0.4.
+    Events simulated exactly from the process.
+    """
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0.0, 1.0, size=(n_pairs, 1))
+    true_mu = 0.05 + 0.6 * x[:, 0]
+    times = np.zeros(n_pairs)
+    is_event = np.zeros(n_pairs)
+    for i in range(n_pairs):
+        first = simulate_first_event_time(true_mu[i], 0.4, horizon, rng)
+        if first is not None:
+            times[i] = first
+            is_event[i] = 1.0
+    horizons = np.full(n_pairs, horizon)
+    return x, times, horizons, is_event, true_mu
+
+
+class TestGradients:
+    def test_nll_gradients_match_numeric(self):
+        """Finite-difference check of dNLL/dmu and dNLL/domega."""
+        model = ExcitationPointProcess(
+            2, excitation_hidden=(4,), decay="network", decay_hidden=(4,), seed=0
+        )
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(6, 2))
+        times = rng.uniform(0.1, 2.0, size=6)
+        horizons = np.full(6, 5.0)
+        is_event = np.array([1.0, 1.0, 0.0, 1.0, 0.0, 0.0])
+        nll, grad_mu, grad_omega = model._batch_nll_and_grads(
+            x, times, horizons, is_event
+        )
+        mu, omega = model.predict_parameters(x)
+
+        def nll_at(mu_v, omega_v):
+            exp_od = np.exp(-omega_v * horizons)
+            comp = mu_v * (1 - exp_od) / omega_v
+            point = is_event * (np.log(mu_v) - omega_v * times)
+            return np.sum(comp - point) / len(mu_v)
+
+        eps = 1e-6
+        for i in range(6):
+            mu_up, mu_dn = mu.copy(), mu.copy()
+            mu_up[i] += eps
+            mu_dn[i] -= eps
+            num = (nll_at(mu_up, omega) - nll_at(mu_dn, omega)) / (2 * eps)
+            assert grad_mu[i] == pytest.approx(num, rel=1e-4, abs=1e-8)
+            om_up, om_dn = omega.copy(), omega.copy()
+            om_up[i] += eps
+            om_dn[i] -= eps
+            num = (nll_at(mu, om_up) - nll_at(mu, om_dn)) / (2 * eps)
+            assert grad_omega[i] == pytest.approx(num, rel=1e-4, abs=1e-8)
+
+
+class TestTraining:
+    def test_nll_decreases(self):
+        x, times, horizons, is_event, _ = make_training_data()
+        model = ExcitationPointProcess(
+            1, excitation_hidden=(16,), omega=0.4, seed=0
+        )
+        result = model.fit(
+            x, times, horizons, is_event, epochs=60, seed=0,
+            optimizer=Adam(learning_rate=0.01),
+        )
+        assert result.nll_history[-1] < result.nll_history[0]
+        assert result.final_nll == result.nll_history[-1]
+
+    def test_recovers_excitation_ordering(self):
+        x, times, horizons, is_event, true_mu = make_training_data()
+        model = ExcitationPointProcess(
+            1, excitation_hidden=(16,), omega=0.4, seed=1
+        )
+        model.fit(
+            x, times, horizons, is_event, epochs=150, seed=1,
+            optimizer=Adam(learning_rate=0.01),
+        )
+        mu_hat, _ = model.predict_parameters(x)
+        corr = np.corrcoef(mu_hat, true_mu)[0, 1]
+        assert corr > 0.8
+
+    def test_recovers_implied_mu_scale(self):
+        """The MLE under the paper's likelihood matches its implied target.
+
+        Observation keeps only the *first* answer per pair while the
+        paper's likelihood charges the compensator over the full horizon,
+        so the stationary point is mu* = P(event) * omega / (1 - e^{-omega d}),
+        not the raw generative mu.  The trained network should land there.
+        """
+        omega, horizon = 0.4, 24.0
+        x, times, horizons, is_event, true_mu = make_training_data(n_pairs=1500)
+        model = ExcitationPointProcess(
+            1, excitation_hidden=(16,), omega=omega, seed=2
+        )
+        model.fit(
+            x, times, horizons, is_event, epochs=150, seed=2,
+            optimizer=Adam(learning_rate=0.01),
+        )
+        mu_hat, _ = model.predict_parameters(x)
+        exposure = (1 - np.exp(-omega * horizon)) / omega
+        implied_mu = -np.expm1(-true_mu * exposure) / exposure
+        assert np.mean(mu_hat) == pytest.approx(np.mean(implied_mu), rel=0.15)
+
+    def test_decay_network_trains(self):
+        x, times, horizons, is_event, _ = make_training_data(n_pairs=300)
+        model = ExcitationPointProcess(
+            1, excitation_hidden=(8,), decay="network", decay_hidden=(8,), seed=3
+        )
+        result = model.fit(x, times, horizons, is_event, epochs=40, seed=3)
+        assert result.nll_history[-1] < result.nll_history[0]
+        _, omega = model.predict_parameters(x)
+        assert np.all(omega > 0)
+
+    def test_predict_response_time_positive(self):
+        x, times, horizons, is_event, _ = make_training_data(n_pairs=200)
+        model = ExcitationPointProcess(1, excitation_hidden=(8,), omega=0.4, seed=4)
+        model.fit(x, times, horizons, is_event, epochs=20, seed=4)
+        preds = model.predict_response_time(x, 24.0)
+        assert preds.shape == (200,)
+        assert np.all(preds > 0)
+
+    def test_nll_evaluation_no_side_effects(self):
+        x, times, horizons, is_event, _ = make_training_data(n_pairs=100)
+        model = ExcitationPointProcess(1, excitation_hidden=(4,), seed=5)
+        before = [p.copy() for p in model.excitation_net.parameters()]
+        model.nll(x, times, horizons, is_event)
+        after = model.excitation_net.parameters()
+        for b, a in zip(before, after):
+            np.testing.assert_array_equal(b, a)
+
+
+class TestValidation:
+    def test_invalid_constructor(self):
+        with pytest.raises(ValueError):
+            ExcitationPointProcess(0)
+        with pytest.raises(ValueError):
+            ExcitationPointProcess(1, decay="linear")
+        with pytest.raises(ValueError):
+            ExcitationPointProcess(1, omega=0.0)
+
+    def test_fit_shape_mismatch(self):
+        model = ExcitationPointProcess(1)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 1)), np.zeros(2), np.ones(3), np.zeros(3))
+
+    def test_fit_rejects_nonpositive_horizons(self):
+        model = ExcitationPointProcess(1)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((2, 1)), np.zeros(2), np.zeros(2), np.zeros(2))
+
+    def test_fit_rejects_nonbinary_events(self):
+        model = ExcitationPointProcess(1)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((2, 1)), np.zeros(2), np.ones(2), np.array([0.5, 0.5]))

@@ -1,0 +1,55 @@
+"""Tests for repro.pointprocess.simulate."""
+
+import numpy as np
+import pytest
+
+from repro.pointprocess.exponential import (
+    conditional_expected_time,
+    integrated_rate,
+)
+from repro.pointprocess.simulate import (
+    simulate_event_times,
+    simulate_first_event_time,
+)
+
+
+class TestSimulation:
+    def test_times_within_horizon_and_sorted(self):
+        rng = np.random.default_rng(0)
+        times = simulate_event_times(50.0, 0.5, 4.0, rng)
+        assert np.all(times >= 0)
+        assert np.all(times <= 4.0)
+        assert np.all(np.diff(times) >= 0)
+
+    def test_mean_count_matches_compensator(self):
+        rng = np.random.default_rng(1)
+        mu, omega, d = 3.0, 0.7, 5.0
+        counts = [
+            simulate_event_times(mu, omega, d, rng).size for _ in range(4000)
+        ]
+        expected = integrated_rate(mu, omega, d)
+        assert np.mean(counts) == pytest.approx(expected, rel=0.05)
+
+    def test_mean_event_time_matches_conditional_expectation(self):
+        rng = np.random.default_rng(2)
+        mu, omega, d = 5.0, 0.8, 6.0
+        all_times = np.concatenate(
+            [simulate_event_times(mu, omega, d, rng) for _ in range(3000)]
+        )
+        expected = conditional_expected_time(mu, omega, d)
+        assert all_times.mean() == pytest.approx(expected, rel=0.05)
+
+    def test_zero_rate_limit(self):
+        rng = np.random.default_rng(3)
+        times = simulate_event_times(1e-6, 1.0, 1.0, rng)
+        assert times.size == 0
+
+    def test_first_event_time(self):
+        rng = np.random.default_rng(4)
+        first = simulate_first_event_time(100.0, 0.1, 10.0, rng)
+        assert first is not None
+        assert 0 <= first <= 10.0
+
+    def test_first_event_none_when_no_events(self):
+        rng = np.random.default_rng(5)
+        assert simulate_first_event_time(1e-9, 1.0, 1.0, rng) is None

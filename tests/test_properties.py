@@ -1,0 +1,160 @@
+"""Property-based tests of cross-module invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PredictorConfig, build_extractor
+from repro.core.routing import solve_routing_lp
+from repro.forum import ForumConfig, generate_forum
+
+FAST = PredictorConfig(n_topics=2, betweenness_sample_size=30)
+
+
+@st.composite
+def small_forums(draw):
+    seed = draw(st.integers(0, 500))
+    n_users = draw(st.integers(40, 90))
+    n_questions = draw(st.integers(40, 80))
+    return generate_forum(
+        ForumConfig(n_users=n_users, n_questions=n_questions), seed=seed
+    )
+
+
+class TestPreprocessProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(small_forums())
+    def test_preprocess_invariants(self, forum):
+        clean, report = forum.dataset.preprocess()
+        # Every kept thread has at least one strictly-later answer.
+        for thread in clean:
+            assert thread.answers
+            for answer in thread.answers:
+                assert answer.timestamp > thread.created_at
+        # At most one answer per user per thread.
+        for thread in clean:
+            authors = [a.author for a in thread.answers]
+            assert len(authors) == len(set(authors))
+        # Idempotence.
+        twice, second = clean.preprocess()
+        assert len(twice) == len(clean)
+        assert second.duplicate_answers_removed == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_forums())
+    def test_counts_add_up(self, forum):
+        raw = forum.dataset
+        clean, report = raw.preprocess()
+        assert (
+            len(clean) + report.questions_dropped_unanswered == len(raw)
+        )
+        assert (
+            clean.num_answers
+            + report.duplicate_answers_removed
+            + report.zero_delay_answers_removed
+            == raw.num_answers
+        )
+
+
+class TestFeatureProperties:
+    @settings(max_examples=4, deadline=None)
+    @given(st.integers(0, 100))
+    def test_feature_vectors_always_valid(self, seed):
+        forum = generate_forum(
+            ForumConfig(n_users=60, n_questions=60), seed=seed
+        )
+        clean, _ = forum.dataset.preprocess()
+        if len(clean) < 10 or clean.num_answers < 5:
+            return
+        extractor = build_extractor(clean, FAST)
+        spec = extractor.spec
+        rng = np.random.default_rng(seed)
+        users = list(clean.users) + [10**7]  # include an unknown user
+        for _ in range(10):
+            user = users[rng.integers(len(users))]
+            thread = clean.threads[rng.integers(len(clean))]
+            x = extractor.features(user, thread)
+            assert np.all(np.isfinite(x))
+            # Topic-distribution blocks lie on the simplex.
+            for name in ("topics_answered", "topics_asked"):
+                block = x[spec.columns_of(name)]
+                assert block.sum() == pytest.approx(1.0, abs=1e-6)
+                assert np.all(block >= -1e-12)
+            # Similarities bounded.
+            for name in (
+                "user_question_topic_similarity",
+                "user_user_topic_similarity",
+            ):
+                value = x[spec.columns_of(name)[0]]
+                assert -1e-9 <= value <= 1.0 + 1e-9
+            # Counts non-negative.
+            for name in (
+                "answers_provided",
+                "thread_cooccurrence",
+                "topic_weighted_questions_answered",
+            ):
+                assert x[spec.columns_of(name)[0]] >= 0.0
+
+
+class TestRoutingLPProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(1, 10),
+        st.integers(0, 10_000),
+    )
+    def test_raising_a_score_never_lowers_its_probability(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=n)
+        caps = rng.uniform(0.2, 1.0, size=n)
+        if caps.sum() < 1.0:
+            caps *= 1.5 / caps.sum()
+        before = solve_routing_lp(scores, caps)
+        target = rng.integers(n)
+        bumped = scores.copy()
+        bumped[target] += abs(rng.normal()) + 0.1
+        after = solve_routing_lp(bumped, caps)
+        assert after[target] >= before[target] - 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(1, 12), st.integers(0, 10_000))
+    def test_always_feasible_distribution(self, n, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.normal(size=n) * 10
+        caps = rng.uniform(0.0, 1.5, size=n)
+        if caps.sum() < 1.0:
+            caps = caps + (1.1 - caps.sum()) / n
+        p = solve_routing_lp(scores, caps)
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)
+        assert np.all(p >= 0.0)
+        assert np.all(p <= caps + 1e-12)
+
+
+class TestGeneratorOutcomeFunctions:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(0.05, 24.0),
+        st.floats(0.0, 1.0),
+        st.integers(0, 1000),
+    )
+    def test_delay_positive(self, median, match, seed):
+        from repro.forum.generator import draw_answer_delay
+
+        rng = np.random.default_rng(seed)
+        delay = draw_answer_delay(median, match, rng)
+        assert delay >= 1.0 / 60.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.floats(-3.0, 3.0),
+        st.floats(0.0, 1.0),
+        st.integers(-5, 40),
+        st.integers(0, 1000),
+    )
+    def test_votes_within_platform_bounds(self, expertise, match, qv, seed):
+        from repro.forum.generator import draw_answer_votes
+
+        rng = np.random.default_rng(seed)
+        votes = draw_answer_votes(expertise, match, qv, rng)
+        assert -6 <= votes <= 60
+        assert isinstance(votes, int)

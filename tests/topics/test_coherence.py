@@ -1,0 +1,61 @@
+"""Tests for repro.topics.coherence."""
+
+import numpy as np
+import pytest
+
+from repro.topics.coherence import mean_coherence, umass_coherence
+from repro.topics.lda import LdaVariational
+
+
+def block_corpus(n_docs=60, doc_len=25, seed=0):
+    rng = np.random.default_rng(seed)
+    docs = []
+    for d in range(n_docs):
+        low, high = (0, 10) if d < n_docs // 2 else (10, 20)
+        docs.append(rng.integers(low, high, size=doc_len))
+    return docs
+
+
+class TestUmassCoherence:
+    def test_coherent_topic_scores_higher(self):
+        """A topic whose top words co-occur scores above a scrambled one."""
+        docs = block_corpus()
+        # Topic 0 concentrated on block words 0-9 (co-occur constantly).
+        coherent = np.zeros((2, 20))
+        coherent[0, :10] = 0.1
+        coherent[1, 10:] = 0.1
+        # Scrambled topic mixes the two blocks (its top words never co-occur
+        # beyond half the pairs).
+        scrambled = np.zeros((2, 20))
+        scrambled[0, ::2] = 0.1
+        scrambled[1, 1::2] = 0.1
+        good = umass_coherence(docs, coherent, 0, top_n=6)
+        bad = umass_coherence(docs, scrambled, 0, top_n=6)
+        assert good > bad
+
+    def test_fitted_lda_beats_random_topics(self):
+        docs = block_corpus()
+        model = LdaVariational(2, 20, seed=0).fit(docs)
+        fitted = mean_coherence(docs, model.topic_word_, top_n=6)
+        rng = np.random.default_rng(1)
+        random_topics = rng.dirichlet(np.ones(20), size=2)
+        random_score = mean_coherence(docs, random_topics, top_n=6)
+        assert fitted > random_score
+
+    def test_perfect_cooccurrence_near_zero(self):
+        # All top words in every document: log((D+1)/D) ~ 0 per pair.
+        docs = [np.arange(5) for _ in range(20)]
+        topic_word = np.zeros((1, 5))
+        topic_word[0] = 0.2
+        score = umass_coherence(docs, topic_word, 0, top_n=5)
+        assert score == pytest.approx(10 * np.log(21 / 20))
+
+    def test_validation(self):
+        docs = block_corpus(n_docs=4)
+        topics = np.ones((2, 20)) / 20
+        with pytest.raises(ValueError):
+            umass_coherence(docs, topics, 0, top_n=1)
+        with pytest.raises(ValueError):
+            umass_coherence(docs, topics, 5)
+        with pytest.raises(ValueError):
+            umass_coherence([], topics, 0)

@@ -1,0 +1,130 @@
+"""Tests for repro.topics.lda.
+
+The recovery tests use a synthetic corpus with two disjoint word blocks:
+documents draw exclusively from one block, so a 2-topic model must
+separate them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.topics.lda import LdaGibbs, LdaVariational, fit_lda
+
+VOCAB_SIZE = 20
+
+
+def make_block_corpus(n_docs=60, doc_len=30, seed=0):
+    """Docs 0..n/2 use words 0-9, the rest use words 10-19."""
+    rng = np.random.default_rng(seed)
+    docs = []
+    labels = []
+    for d in range(n_docs):
+        block = 0 if d < n_docs // 2 else 1
+        low, high = (0, 10) if block == 0 else (10, 20)
+        docs.append(rng.integers(low, high, size=doc_len))
+        labels.append(block)
+    return docs, np.array(labels)
+
+
+def topic_block_mass(topic_word_row):
+    """Probability mass a topic puts on the first word block."""
+    return topic_word_row[:10].sum()
+
+
+@pytest.mark.parametrize("cls", [LdaGibbs, LdaVariational], ids=["gibbs", "vb"])
+class TestRecovery:
+    def test_distributions_are_simplex(self, cls):
+        docs, _ = make_block_corpus()
+        model = cls(2, VOCAB_SIZE, seed=1).fit(docs)
+        np.testing.assert_allclose(model.doc_topic_.sum(axis=1), 1.0, atol=1e-8)
+        np.testing.assert_allclose(model.topic_word_.sum(axis=1), 1.0, atol=1e-8)
+        assert np.all(model.doc_topic_ >= 0)
+        assert np.all(model.topic_word_ >= 0)
+
+    def test_recovers_two_blocks(self, cls):
+        docs, labels = make_block_corpus()
+        model = cls(2, VOCAB_SIZE, seed=2).fit(docs)
+        # Each topic should concentrate on one block.
+        masses = [topic_block_mass(model.topic_word_[t]) for t in range(2)]
+        assert max(masses) > 0.9
+        assert min(masses) < 0.1
+        # Doc assignments should match labels (up to topic permutation).
+        block0_topic = int(np.argmax(masses))
+        assigned = np.argmax(model.doc_topic_, axis=1)
+        predicted_block0 = assigned == block0_topic
+        true_block0 = labels == 0
+        agreement = np.mean(predicted_block0 == true_block0)
+        assert agreement > 0.95
+
+    def test_transform_held_out(self, cls):
+        docs, _ = make_block_corpus()
+        model = cls(2, VOCAB_SIZE, seed=3).fit(docs)
+        rng = np.random.default_rng(9)
+        held_out = [rng.integers(0, 10, size=25), rng.integers(10, 20, size=25)]
+        dist = model.transform(held_out)
+        np.testing.assert_allclose(dist.sum(axis=1), 1.0, atol=1e-8)
+        # The two held-out docs are from opposite blocks -> opposite topics.
+        assert np.argmax(dist[0]) != np.argmax(dist[1])
+        assert dist.max() > 0.8
+
+    def test_empty_document_gets_uniform(self, cls):
+        docs, _ = make_block_corpus(n_docs=10)
+        model = cls(2, VOCAB_SIZE, seed=4).fit(docs)
+        dist = model.transform([np.array([], dtype=np.int64)])
+        np.testing.assert_allclose(dist[0], 0.5, atol=0.05)
+
+    def test_deterministic_given_seed(self, cls):
+        docs, _ = make_block_corpus(n_docs=20)
+        a = cls(2, VOCAB_SIZE, seed=7, n_iter=10).fit(docs)
+        b = cls(2, VOCAB_SIZE, seed=7, n_iter=10).fit(docs)
+        np.testing.assert_array_equal(a.doc_topic_, b.doc_topic_)
+
+    def test_out_of_range_token_raises(self, cls):
+        with pytest.raises(ValueError, match="token ids"):
+            cls(2, VOCAB_SIZE).fit([np.array([0, VOCAB_SIZE])])
+
+    def test_unfitted_transform_raises(self, cls):
+        with pytest.raises(RuntimeError):
+            cls(2, VOCAB_SIZE).transform([np.array([0])])
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_topics": 0},
+            {"vocab_size": 0},
+            {"alpha": 0.0},
+            {"beta": -1.0},
+            {"n_iter": 0},
+        ],
+    )
+    def test_invalid_constructor_args(self, kwargs):
+        defaults = {"n_topics": 2, "vocab_size": 5}
+        with pytest.raises(ValueError):
+            LdaGibbs(**{**defaults, **kwargs})
+
+    def test_top_words(self):
+        docs, _ = make_block_corpus()
+        model = LdaVariational(2, VOCAB_SIZE, seed=5).fit(docs)
+        top = model.top_words(0, n=5)
+        assert len(top) == 5
+        # Top words of one topic should come from a single block.
+        assert np.all(top < 10) or np.all(top >= 10)
+
+
+class TestFactory:
+    def test_variational_default(self):
+        docs, _ = make_block_corpus(n_docs=10)
+        model = fit_lda(docs, 2, VOCAB_SIZE)
+        assert isinstance(model, LdaVariational)
+        assert model.doc_topic_ is not None
+
+    def test_gibbs_by_name(self):
+        docs, _ = make_block_corpus(n_docs=10)
+        model = fit_lda(docs, 2, VOCAB_SIZE, method="gibbs", n_iter=5)
+        assert isinstance(model, LdaGibbs)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown LDA method"):
+            fit_lda([], 2, VOCAB_SIZE, method="svd")

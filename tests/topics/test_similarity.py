@@ -1,0 +1,70 @@
+"""Tests for repro.topics.similarity."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.topics.similarity import (
+    pairwise_tv_similarity,
+    total_variation_similarity,
+)
+
+
+def simplex_vectors(k):
+    return (
+        st.lists(st.floats(0.01, 1.0), min_size=k, max_size=k)
+        .map(np.array)
+        .map(lambda v: v / v.sum())
+    )
+
+
+class TestTotalVariationSimilarity:
+    def test_identical_is_one(self):
+        p = np.array([0.2, 0.3, 0.5])
+        assert total_variation_similarity(p, p) == pytest.approx(1.0)
+
+    def test_disjoint_is_zero(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert total_variation_similarity(p, q) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        p = np.array([0.5, 0.5])
+        q = np.array([0.75, 0.25])
+        assert total_variation_similarity(p, q) == pytest.approx(0.75)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            total_variation_similarity(np.ones(2) / 2, np.ones(3) / 3)
+
+    @given(simplex_vectors(4), simplex_vectors(4))
+    def test_bounded_and_symmetric(self, p, q):
+        s = total_variation_similarity(p, q)
+        assert 0.0 <= s <= 1.0 + 1e-12
+        assert s == pytest.approx(total_variation_similarity(q, p))
+
+    @given(simplex_vectors(5), simplex_vectors(5), simplex_vectors(5))
+    def test_triangle_inequality_on_distance(self, p, q, r):
+        # 1 - s is a metric (total variation distance).
+        d = lambda a, b: 1.0 - total_variation_similarity(a, b)
+        assert d(p, r) <= d(p, q) + d(q, r) + 1e-12
+
+
+class TestPairwise:
+    def test_matches_scalar_version(self):
+        rng = np.random.default_rng(0)
+        rows = rng.dirichlet(np.ones(4), size=10)
+        against = rng.dirichlet(np.ones(4))
+        vectorized = pairwise_tv_similarity(rows, against)
+        scalar = [total_variation_similarity(r, against) for r in rows]
+        np.testing.assert_allclose(vectorized, scalar)
+
+    def test_single_row(self):
+        out = pairwise_tv_similarity(np.array([0.5, 0.5]), np.array([0.5, 0.5]))
+        assert out.shape == (1,)
+        assert out[0] == pytest.approx(1.0)
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            pairwise_tv_similarity(np.ones((2, 3)) / 3, np.ones(2) / 2)

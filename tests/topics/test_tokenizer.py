@@ -1,0 +1,75 @@
+"""Tests for repro.topics.tokenizer."""
+
+import pytest
+
+from repro.topics.tokenizer import split_text_and_code, tokenize
+
+
+class TestSplitTextAndCode:
+    def test_inline_code_extracted(self):
+        post = split_text_and_code("Use <code>print(x)</code> to debug")
+        assert post.code == "print(x)"
+        assert "print(x)" not in post.words
+        assert "Use" in post.words and "debug" in post.words
+
+    def test_multiple_code_blocks_joined(self):
+        body = "a <code>x = 1</code> b <code>y = 2</code> c"
+        post = split_text_and_code(body)
+        assert post.code == "x = 1\ny = 2"
+
+    def test_pre_code_block(self):
+        body = "<p>See:</p><pre><code>for i in range(10):\n    pass</code></pre>"
+        post = split_text_and_code(body)
+        assert "for i in range(10)" in post.code
+        assert post.words == "See:"
+
+    def test_html_tags_stripped_from_words(self):
+        post = split_text_and_code("<p>Hello <b>world</b></p>")
+        assert post.words == "Hello world"
+
+    def test_no_code(self):
+        post = split_text_and_code("just plain text")
+        assert post.code == ""
+        assert post.words == "just plain text"
+
+    def test_lengths(self):
+        post = split_text_and_code("ab <code>xyz</code>")
+        assert post.word_length == len("ab")
+        assert post.code_length == 3
+
+    def test_case_insensitive_code_tag(self):
+        post = split_text_and_code("a <CODE>b</CODE> c")
+        assert post.code == "b"
+
+    def test_multiline_code(self):
+        post = split_text_and_code("<code>line1\nline2</code>")
+        assert post.code == "line1\nline2"
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Python NumPy") == ["python", "numpy"]
+
+    def test_removes_stopwords(self):
+        assert tokenize("the quick fox") == ["quick", "fox"]
+
+    def test_keeps_stopwords_when_disabled(self):
+        assert "the" in tokenize("the fox", remove_stopwords=False)
+
+    def test_programming_terms_survive(self):
+        toks = tokenize("c++ and c# with numpy.array")
+        assert "c++" in toks
+        assert "c#" in toks
+        assert "numpy.array" in toks
+
+    def test_min_length_filter(self):
+        assert tokenize("a ab abc", remove_stopwords=False) == ["ab", "abc"]
+
+    def test_strips_trailing_punctuation(self):
+        assert tokenize("works.") == ["works"]
+
+    def test_numbers_alone_dropped(self):
+        assert tokenize("error 404 found") == ["error", "found"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []

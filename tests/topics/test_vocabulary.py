@@ -1,0 +1,76 @@
+"""Tests for repro.topics.vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.topics.vocabulary import Vocabulary
+
+DOCS = [
+    ["apple", "banana", "apple"],
+    ["banana", "cherry"],
+    ["apple", "date"],
+]
+
+
+class TestFit:
+    def test_all_tokens_kept_with_min_count_1(self):
+        vocab = Vocabulary().fit(DOCS)
+        assert set(vocab.tokens) == {"apple", "banana", "cherry", "date"}
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary(min_count=2).fit(DOCS)
+        assert set(vocab.tokens) == {"apple", "banana"}
+
+    def test_frequency_ordering(self):
+        vocab = Vocabulary().fit(DOCS)
+        assert vocab.token(0) == "apple"  # 3 occurrences
+        assert vocab.token(1) == "banana"  # 2 occurrences
+
+    def test_alphabetical_tiebreak(self):
+        vocab = Vocabulary().fit([["zebra", "ant"]])
+        assert vocab.tokens == ["ant", "zebra"]
+
+    def test_max_size_truncates(self):
+        vocab = Vocabulary(max_size=2).fit(DOCS)
+        assert len(vocab) == 2
+        assert vocab.tokens == ["apple", "banana"]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            Vocabulary(min_count=0)
+        with pytest.raises(ValueError):
+            Vocabulary(max_size=0)
+
+
+class TestEncode:
+    def test_roundtrip(self):
+        vocab = Vocabulary().fit(DOCS)
+        ids = vocab.encode(["apple", "cherry"])
+        assert [vocab.token(i) for i in ids] == ["apple", "cherry"]
+
+    def test_oov_skipped(self):
+        vocab = Vocabulary().fit(DOCS)
+        ids = vocab.encode(["apple", "unknown", "banana"])
+        assert len(ids) == 2
+
+    def test_empty_doc(self):
+        vocab = Vocabulary().fit(DOCS)
+        ids = vocab.encode([])
+        assert ids.shape == (0,)
+        assert ids.dtype == np.int64
+
+    def test_encode_corpus(self):
+        vocab = Vocabulary().fit(DOCS)
+        encoded = vocab.encode_corpus(DOCS)
+        assert len(encoded) == 3
+        assert all(isinstance(e, np.ndarray) for e in encoded)
+
+    def test_contains(self):
+        vocab = Vocabulary().fit(DOCS)
+        assert "apple" in vocab
+        assert "unknown" not in vocab
+
+    def test_token_id_raises_for_unknown(self):
+        vocab = Vocabulary().fit(DOCS)
+        with pytest.raises(KeyError):
+            vocab.token_id("unknown")
