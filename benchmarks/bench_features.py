@@ -1,0 +1,82 @@
+"""Featurization throughput: batched engine vs. the scalar reference.
+
+``FeatureExtractor.feature_matrix`` used to loop ``features(u, q)`` per
+pair; it now routes through ``features_batch``.  This benchmark times
+both paths on the default bench forum, asserts the batch engine's
+speedup and its element-wise equivalence, and records the measurement
+in ``BENCH_features.json`` at the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import FORUM_CONFIG
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_features.json"
+SCALAR_REPEATS = 3
+BATCH_REPEATS = 10
+
+
+def build_pairs(dataset):
+    """The Table-I pair population: every positive plus one negative each."""
+    records = dataset.answer_records()
+    pairs = [(r.user, dataset.thread(r.thread_id)) for r in records]
+    pairs += [
+        (u, dataset.thread(tid))
+        for u, tid in dataset.sample_negative_pairs(len(records), seed=0)
+    ]
+    return pairs
+
+
+def time_call(fn, repeats):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_feature_matrix_speedup(benchmark, dataset, extractor):
+    pairs = build_pairs(dataset)
+
+    def scalar_loop():
+        return np.stack([extractor.features(u, t) for u, t in pairs])
+
+    # Warm every lazy cache, then take best-of-N for both paths.
+    x_batch = extractor.features_batch(pairs)
+    x_scalar = scalar_loop()
+    np.testing.assert_allclose(x_batch, x_scalar, rtol=0.0, atol=1e-12)
+
+    scalar_seconds = time_call(scalar_loop, SCALAR_REPEATS)
+    batch_seconds = time_call(
+        lambda: extractor.features_batch(pairs), BATCH_REPEATS
+    )
+    result = benchmark.pedantic(
+        extractor.features_batch, args=(pairs,), rounds=3, iterations=1
+    )
+    assert result.shape == (len(pairs), extractor.spec.n_features)
+
+    speedup = scalar_seconds / batch_seconds
+    record = {
+        "forum": {
+            "n_users": FORUM_CONFIG.n_users,
+            "n_questions": FORUM_CONFIG.n_questions,
+        },
+        "n_pairs": len(pairs),
+        "n_features": extractor.spec.n_features,
+        "scalar_seconds": round(scalar_seconds, 6),
+        "batch_seconds": round(batch_seconds, 6),
+        "speedup": round(speedup, 2),
+        "pairs_per_second_batch": round(len(pairs) / batch_seconds),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print(
+        f"\nfeature_matrix: scalar {scalar_seconds * 1e3:.1f} ms, "
+        f"batch {batch_seconds * 1e3:.1f} ms, {speedup:.1f}x "
+        f"({len(pairs)} pairs) -> {RESULT_PATH.name}"
+    )
+    assert speedup >= 5.0

@@ -12,7 +12,7 @@ Public API highlights:
   regenerates every table and figure of the paper.
 """
 
-from . import baselines, core, forum, graphs, ml, pointprocess, topics
+from . import baselines, core, forum, graphs, ml, perf, pointprocess, topics
 from .core import (
     ForumPredictor,
     Prediction,
@@ -30,6 +30,7 @@ __all__ = [
     "forum",
     "graphs",
     "ml",
+    "perf",
     "pointprocess",
     "topics",
     "ForumPredictor",

@@ -6,13 +6,24 @@ Implements the cross-validation protocol of Sec. IV-A and drivers for:
 * Fig. 5    — sensitivity to the number of LDA topics K;
 * Fig. 6    — leave-one-feature-out importance for the v and r tasks;
 * Fig. 7    — leave-one-group-out importance vs. historical-data window.
+
+Every driver accepts ``n_jobs`` (default serial; ``REPRO_N_JOBS`` in the
+environment overrides the default): fold fits and the independent
+ablation/sweep runs are embarrassingly parallel, so they dispatch
+through a ``ProcessPoolExecutor``.  All randomness is derived from the
+config seed per fold/run, never from shared RNG state, so parallel and
+serial runs produce identical numbers.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
+
+from .. import perf
 
 from ..baselines import MatrixFactorization, PoissonRegression, Sparfa
 from ..forum.dataset import ForumDataset
@@ -232,6 +243,36 @@ class Table1Result:
 
 
 # --------------------------------------------------------------------------
+# Parallel dispatch
+# --------------------------------------------------------------------------
+
+
+def _resolve_n_jobs(n_jobs: int | None) -> int:
+    """Explicit ``n_jobs`` wins; otherwise ``REPRO_N_JOBS``; otherwise 1."""
+    if n_jobs is None:
+        raw = os.environ.get("REPRO_N_JOBS", "")
+        try:
+            n_jobs = int(raw) if raw else 1
+        except ValueError:
+            n_jobs = 1
+    return max(1, n_jobs)
+
+
+def _parallel_map(fn, tasks: list, n_jobs: int | None) -> list:
+    """``[fn(t) for t in tasks]``, optionally across worker processes.
+
+    Order is preserved, so serial and parallel runs aggregate results
+    identically; each task must carry all of its own inputs (tasks are
+    pickled to the workers).
+    """
+    n_jobs = _resolve_n_jobs(n_jobs)
+    if n_jobs <= 1 or len(tasks) <= 1:
+        return [fn(t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
+        return list(pool.map(fn, tasks))
+
+
+# --------------------------------------------------------------------------
 # Fold-level evaluation
 # --------------------------------------------------------------------------
 
@@ -345,6 +386,18 @@ def _evaluate_timing_fold(
 # --------------------------------------------------------------------------
 
 
+def _table1_fold_task(
+    args: tuple[PairDataset, np.ndarray, np.ndarray, PredictorConfig],
+) -> tuple[tuple[float, float], tuple[float, float], tuple[float, float]]:
+    """All three task comparisons on one fold (top-level: picklable)."""
+    pairs, train, test, config = args
+    with perf.timer("evaluation.fold"):
+        answer = _evaluate_answer_fold(pairs, train, test, config)
+        votes = _evaluate_votes_fold(pairs, train, test, config)
+        timing = _evaluate_timing_fold(pairs, train, test, config)
+    return answer, votes, timing
+
+
 def run_table1(
     dataset: ForumDataset,
     *,
@@ -353,11 +406,15 @@ def run_table1(
     n_repeats: int = 1,
     extractor: FeatureExtractor | None = None,
     pairs: PairDataset | None = None,
+    n_jobs: int | None = None,
 ) -> Table1Result:
     """Reproduce Table I: all three tasks with Omega = Q, F = Q.
 
     ``extractor``/``pairs`` may be passed in to reuse featurization
     across experiments (they are deterministic given the config).
+    ``n_jobs > 1`` evaluates folds in parallel worker processes; the
+    folds and every model seed derive from ``config.seed``, so the
+    result is identical to the serial run.
     """
     config = config or PredictorConfig()
     if pairs is None:
@@ -369,6 +426,13 @@ def run_table1(
             negative_ratio=config.negative_ratio,
             seed=config.seed,
         )
+    folds = list(_fold_iterator(pairs, n_folds, n_repeats, config.seed))
+    with perf.timer("evaluation.table1_cv"):
+        per_fold = _parallel_map(
+            _table1_fold_task,
+            [(pairs, train, test, config) for train, test in folds],
+            n_jobs,
+        )
     metrics: dict[str, list[float]] = {
         "answer_model": [],
         "answer_base": [],
@@ -377,16 +441,13 @@ def run_table1(
         "timing_model": [],
         "timing_base": [],
     }
-    for train, test in _fold_iterator(pairs, n_folds, n_repeats, config.seed):
-        m, b = _evaluate_answer_fold(pairs, train, test, config)
-        metrics["answer_model"].append(m)
-        metrics["answer_base"].append(b)
-        m, b = _evaluate_votes_fold(pairs, train, test, config)
-        metrics["votes_model"].append(m)
-        metrics["votes_base"].append(b)
-        m, b = _evaluate_timing_fold(pairs, train, test, config)
-        metrics["timing_model"].append(m)
-        metrics["timing_base"].append(b)
+    for answer, votes, timing in per_fold:
+        metrics["answer_model"].append(answer[0])
+        metrics["answer_base"].append(answer[1])
+        metrics["votes_model"].append(votes[0])
+        metrics["votes_base"].append(votes[1])
+        metrics["timing_model"].append(timing[0])
+        metrics["timing_base"].append(timing[1])
     return Table1Result(
         answer=TaskResult(
             MetricSummary.of(metrics["answer_model"]),
@@ -412,22 +473,19 @@ def run_table1(
     )
 
 
-def _cv_task_metrics(
-    pairs: PairDataset,
-    config: PredictorConfig,
-    n_folds: int,
-    n_repeats: int,
-    tasks: tuple[str, ...] = ("answer", "votes", "timing"),
+def _cv_fold_task(
+    args: tuple[PairDataset, np.ndarray, np.ndarray, PredictorConfig, tuple[str, ...]],
 ) -> dict[str, float]:
-    """Mean model-side metrics over CV folds for the requested tasks."""
-    out: dict[str, list[float]] = {t: [] for t in tasks}
-    for train, test in _fold_iterator(pairs, n_folds, n_repeats, config.seed):
+    """Model-side metrics for the requested tasks on one fold."""
+    pairs, train, test, config, tasks = args
+    out: dict[str, float] = {}
+    with perf.timer("evaluation.fold"):
         if "answer" in tasks:
             model = AnswerModel(l2=config.answer_l2).fit(
                 pairs.x[train], pairs.is_event[train]
             )
-            out["answer"].append(
-                auc_score(pairs.is_event[test], model.predict_proba(pairs.x[test]))
+            out["answer"] = auc_score(
+                pairs.is_event[test], model.predict_proba(pairs.x[test])
             )
         if "votes" in tasks:
             train_pos = train[pairs.is_event[train] == 1.0]
@@ -439,8 +497,8 @@ def _cv_task_metrics(
                 seed=config.seed,
             )
             vote.fit(pairs.x[train_pos], pairs.votes[train_pos])
-            out["votes"].append(
-                rmse(pairs.votes[test_pos], vote.predict(pairs.x[test_pos]))
+            out["votes"] = rmse(
+                pairs.votes[test_pos], vote.predict(pairs.x[test_pos])
             )
         if "timing" in tasks:
             test_pos = test[pairs.is_event[test] == 1.0]
@@ -458,13 +516,41 @@ def _cv_task_metrics(
                 pairs.horizons[train],
                 pairs.is_event[train],
             )
-            out["timing"].append(
-                rmse(
-                    pairs.times[test_pos],
-                    timing.predict(pairs.x[test_pos], pairs.horizons[test_pos]),
-                )
+            out["timing"] = rmse(
+                pairs.times[test_pos],
+                timing.predict(pairs.x[test_pos], pairs.horizons[test_pos]),
             )
-    return {t: float(np.mean(v)) for t, v in out.items()}
+    return out
+
+
+def _cv_task_metrics(
+    pairs: PairDataset,
+    config: PredictorConfig,
+    n_folds: int,
+    n_repeats: int,
+    tasks: tuple[str, ...] = ("answer", "votes", "timing"),
+    n_jobs: int | None = None,
+) -> dict[str, float]:
+    """Mean model-side metrics over CV folds for the requested tasks."""
+    folds = list(_fold_iterator(pairs, n_folds, n_repeats, config.seed))
+    per_fold = _parallel_map(
+        _cv_fold_task,
+        [(pairs, train, test, config, tasks) for train, test in folds],
+        n_jobs,
+    )
+    return {t: float(np.mean([fold[t] for fold in per_fold])) for t in tasks}
+
+
+def _topic_sweep_task(
+    args: tuple[ForumDataset, PredictorConfig, int, int],
+) -> dict[str, float]:
+    """One K of the Fig. 5 sweep: fit topics + features, run the CV."""
+    dataset, cfg, n_folds, n_repeats = args
+    extractor = build_extractor(dataset, cfg)
+    pairs = build_pair_dataset(
+        dataset, extractor, negative_ratio=cfg.negative_ratio, seed=cfg.seed
+    )
+    return _cv_task_metrics(pairs, cfg, n_folds, n_repeats)
 
 
 def run_topic_sweep(
@@ -475,28 +561,28 @@ def run_topic_sweep(
     config: PredictorConfig | None = None,
     n_folds: int = 5,
     n_repeats: int = 1,
+    n_jobs: int | None = None,
 ) -> dict[int, dict[str, float]]:
     """Fig. 5: percent metric change vs. K, relative to the K=8 default.
 
     Returns ``{K: {task: percent_change}}`` where positive means better
-    (higher AUC for the answer task, lower RMSE for the others).
+    (higher AUC for the answer task, lower RMSE for the others).  The
+    per-K runs are independent and dispatch in parallel for
+    ``n_jobs > 1``.
     """
     config = config or PredictorConfig()
     results: dict[int, dict[str, float]] = {}
-    raw: dict[int, dict[str, float]] = {}
     counts = tuple(dict.fromkeys((base_topics, *topic_counts)))
-    for k in counts:
-        cfg = PredictorConfig(
-            **{
-                **config.__dict__,
-                "n_topics": k,
-            }
+    configs = [
+        PredictorConfig(**{**config.__dict__, "n_topics": k}) for k in counts
+    ]
+    with perf.timer("evaluation.topic_sweep"):
+        per_k = _parallel_map(
+            _topic_sweep_task,
+            [(dataset, cfg, n_folds, n_repeats) for cfg in configs],
+            n_jobs,
         )
-        extractor = build_extractor(dataset, cfg)
-        pairs = build_pair_dataset(
-            dataset, extractor, negative_ratio=cfg.negative_ratio, seed=cfg.seed
-        )
-        raw[k] = _cv_task_metrics(pairs, cfg, n_folds, n_repeats)
+    raw = dict(zip(counts, per_k))
     base = raw[base_topics]
     for k in counts:
         if k == base_topics:
@@ -509,6 +595,14 @@ def run_topic_sweep(
     return results
 
 
+def _ablation_task(
+    args: tuple[PairDataset, PredictorConfig, int, int, tuple[str, ...]],
+) -> dict[str, float]:
+    """One ablation unit: serial CV over a column-subset dataset."""
+    pairs, config, n_folds, n_repeats, tasks = args
+    return _cv_task_metrics(pairs, config, n_folds, n_repeats, tasks=tasks)
+
+
 def run_feature_importance(
     dataset: ForumDataset,
     *,
@@ -516,11 +610,14 @@ def run_feature_importance(
     n_folds: int = 5,
     n_repeats: int = 1,
     features: tuple[str, ...] | None = None,
+    n_jobs: int | None = None,
 ) -> dict[str, dict[str, float]]:
     """Fig. 6: leave-one-feature-out percent RMSE increase for v and r.
 
     Returns ``{feature: {"votes": pct, "timing": pct}}`` where positive
-    percent means removing the feature *hurt* (RMSE went up).
+    percent means removing the feature *hurt* (RMSE went up).  The base
+    run and the per-feature ablations are independent and dispatch in
+    parallel for ``n_jobs > 1``.
     """
     config = config or PredictorConfig()
     extractor = build_extractor(dataset, config)
@@ -529,24 +626,56 @@ def run_feature_importance(
     )
     spec = extractor.spec
     names = features if features is not None else tuple(spec.feature_names)
-    base = _cv_task_metrics(
+    tasks = ("votes", "timing")
+    units = [pairs] + [
+        pairs.keep_columns(spec.mask_without(features=(name,))) for name in names
+    ]
+    with perf.timer("evaluation.feature_importance"):
+        metrics = _parallel_map(
+            _ablation_task,
+            [(unit, config, n_folds, n_repeats, tasks) for unit in units],
+            n_jobs,
+        )
+    base, ablations = metrics[0], metrics[1:]
+    out: dict[str, dict[str, float]] = {}
+    for name, ablated in zip(names, ablations):
+        out[name] = {
+            "votes": 100.0 * (ablated["votes"] - base["votes"]) / base["votes"],
+            "timing": 100.0 * (ablated["timing"] - base["timing"]) / base["timing"],
+        }
+    return out
+
+
+def _history_window_task(
+    args: tuple[
+        ForumDataset, ForumDataset, float, PredictorConfig, int, int, tuple[str, ...]
+    ],
+) -> dict[str, dict[str, float]]:
+    """One history length of Fig. 7: featurize + full and per-group CV."""
+    window, eval_set, horizon_reference, config, n_folds, n_repeats, groups = args
+    extractor = build_extractor(window, config)
+    pairs = build_pair_dataset(
+        eval_set,
+        extractor,
+        negative_ratio=config.negative_ratio,
+        horizon_reference=horizon_reference,
+        seed=config.seed,
+    )
+    spec = extractor.spec
+    per_history: dict[str, dict[str, float]] = {}
+    per_history["full"] = _cv_task_metrics(
         pairs, config, n_folds, n_repeats, tasks=("votes", "timing")
     )
-    out: dict[str, dict[str, float]] = {}
-    for name in names:
-        mask = spec.mask_without(features=(name,))
-        ablated = _cv_task_metrics(
+    for group in groups:
+        mask = spec.mask_without(groups=(group,))
+        per_history[group] = _cv_task_metrics(
             pairs.keep_columns(mask),
             config,
             n_folds,
             n_repeats,
             tasks=("votes", "timing"),
         )
-        out[name] = {
-            "votes": 100.0 * (ablated["votes"] - base["votes"]) / base["votes"],
-            "timing": 100.0 * (ablated["timing"] - base["timing"]) / base["timing"],
-        }
-    return out
+    return per_history
 
 
 def run_group_importance_by_history(
@@ -558,6 +687,7 @@ def run_group_importance_by_history(
     history_lengths: tuple[int, ...] = (5, 10, 15, 20, 25),
     n_folds: int = 5,
     n_repeats: int = 1,
+    n_jobs: int | None = None,
 ) -> dict[int, dict[str, dict[str, float]]]:
     """Fig. 7: leave-one-group-out RMSE vs. historical window length.
 
@@ -565,39 +695,36 @@ def run_group_importance_by_history(
     each history length ``i`` features are computed over days
     ``(25 - i)..25``.  Returns ``{i: {group_or_none: {"votes": rmse,
     "timing": rmse}}}`` with key ``"full"`` for the un-ablated model.
+    The per-history runs are independent and dispatch in parallel for
+    ``n_jobs > 1``.
     """
     config = config or PredictorConfig()
     eval_set = dataset.threads_in_days(eval_first_day, eval_last_day)
     if len(eval_set) == 0:
         raise ValueError("no threads in the evaluation window")
-    results: dict[int, dict[str, dict[str, float]]] = {}
     groups = ("user", "question", "user_question", "social")
+    windows: list[ForumDataset] = []
     for history in history_lengths:
         first = max(1, eval_first_day - history)
         window = dataset.threads_in_days(first, eval_first_day)
         if len(window) == 0:
             raise ValueError(f"no threads in history window {first}..{eval_first_day}")
-        extractor = build_extractor(window, config)
-        pairs = build_pair_dataset(
-            eval_set,
-            extractor,
-            negative_ratio=config.negative_ratio,
-            horizon_reference=dataset.duration_hours,
-            seed=config.seed,
+        windows.append(window)
+    with perf.timer("evaluation.group_importance"):
+        per_window = _parallel_map(
+            _history_window_task,
+            [
+                (
+                    window,
+                    eval_set,
+                    dataset.duration_hours,
+                    config,
+                    n_folds,
+                    n_repeats,
+                    groups,
+                )
+                for window in windows
+            ],
+            n_jobs,
         )
-        spec = extractor.spec
-        per_history: dict[str, dict[str, float]] = {}
-        per_history["full"] = _cv_task_metrics(
-            pairs, config, n_folds, n_repeats, tasks=("votes", "timing")
-        )
-        for group in groups:
-            mask = spec.mask_without(groups=(group,))
-            per_history[group] = _cv_task_metrics(
-                pairs.keep_columns(mask),
-                config,
-                n_folds,
-                n_repeats,
-                tasks=("votes", "timing"),
-            )
-        results[history] = per_history
-    return results
+    return dict(zip(history_lengths, per_window))

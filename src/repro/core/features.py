@@ -4,6 +4,18 @@ A :class:`FeatureExtractor` is built once over a *feature window* — the
 question set ``F(q)`` the paper computes features on — and then produces
 the vector ``x_uq`` for any (user, question) pair.
 
+Two equivalent paths produce the vectors:
+
+* :meth:`FeatureExtractor.features` — the scalar reference path, one
+  pair at a time;
+* :meth:`FeatureExtractor.features_batch` — the batched engine behind
+  :meth:`feature_matrix`.  It groups pairs by user and by thread so the
+  per-user aggregates and per-question info are computed once per group,
+  vectorizes the topic-similarity blocks with NumPy over whole pair
+  blocks, and memoizes the resource-allocation index per (user, asker).
+  Its output matches the scalar path element-wise to floating-point
+  roundoff (tested at atol=1e-12).
+
 Leakage guard: when the target thread itself lies inside the window,
 all user-side aggregates (answer counts, votes, response times, topic
 histories, thread co-occurrence) exclude that thread's contributions.
@@ -16,10 +28,13 @@ reading.  Graph centralities are computed once over the whole window
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
+from .. import perf
 from ..forum.dataset import ForumDataset
 from ..forum.models import Thread
 from ..graphs import (
@@ -29,12 +44,17 @@ from ..graphs import (
     build_qa_graph,
     closeness_centrality,
     resource_allocation_index,
+    resource_allocation_indices,
 )
 from ..topics.tokenizer import split_text_and_code
 from .featurespec import FeatureSpec
 from .topic_context import TopicModelContext
 
 __all__ = ["FeatureExtractor", "QuestionInfo"]
+
+# Sentinel thread id that never collides with a real (non-negative) id,
+# used to request "no exclusion" from the masked aggregate helpers.
+_NO_THREAD = -1
 
 
 @dataclass(frozen=True)
@@ -58,8 +78,45 @@ class _UserHistory:
     answer_topic_vectors: np.ndarray  # (n_i, K) topics of the answers themselves
 
 
+@dataclass
+class _BatchTables:
+    """Flat per-user aggregate tables backing the batch engine.
+
+    Histories are concatenated row-wise (``seg_start`` delimits each
+    user's block) so whole pair batches reduce with one segmented sum
+    instead of per-user Python.  ``times_sorted``/``time_rank`` hold
+    each user's response times sorted within its block, which turns the
+    leave-one-row-out median into index arithmetic.  Users listed in
+    ``dup_users`` answered some thread more than once (pre-preprocessing
+    data) and take the masked fallback path instead of ``row_of``.
+    """
+
+    user_index: dict[int, int]  # user id -> row in the per-user tables
+    n: np.ndarray  # (U,) history lengths
+    votes_sum: np.ndarray  # (U,)
+    median_rt: np.ndarray  # (U,)
+    d_u: np.ndarray  # (U, K) answer_topic_vectors.mean(axis=0)
+    topic_sum: np.ndarray  # (U, K) answer_topic_vectors.sum(axis=0)
+    seg_start: np.ndarray  # (U,) offsets into the concatenated rows
+    hist_topics: np.ndarray  # (N, K) answered_question_topics, concatenated
+    hist_votes: np.ndarray  # (N,)
+    hist_answer_topics: np.ndarray  # (N, K)
+    times_sorted: np.ndarray  # (N,) response times, sorted per user block
+    time_rank: np.ndarray  # (N,) history row -> rank within its block
+    row_of: dict[tuple[int, int], int]  # (user, tid) -> concatenated row
+    dup_users: set[int]
+
+
 class FeatureExtractor:
     """Computes x_uq vectors over a fixed feature window."""
+
+    # Out-of-window threads seen at prediction time keep their info in a
+    # small LRU; the window's own threads are cached permanently.
+    _OUT_OF_WINDOW_CACHE_SIZE = 512
+
+    # Memory cap (in float64 elements) for one pair-block x history
+    # similarity matrix inside the batch engine.
+    _SIM_CHUNK_ELEMENTS = 4_000_000
 
     def __init__(
         self,
@@ -73,10 +130,20 @@ class FeatureExtractor:
         self.topics = topics
         self.spec = FeatureSpec(topics.n_topics)
         self._uniform = np.full(topics.n_topics, 1.0 / topics.n_topics)
-        self._build_question_info()
-        self._build_user_histories()
-        self._build_discussion_topics()
-        self._build_graphs(betweenness_sample_size, seed)
+        with perf.timer("features.build"):
+            with perf.timer("features.build.question_info"):
+                self._build_question_info()
+            with perf.timer("features.build.user_histories"):
+                self._build_user_histories()
+            with perf.timer("features.build.discussion_topics"):
+                self._build_discussion_topics()
+            with perf.timer("features.build.graphs"):
+                self._build_graphs(betweenness_sample_size, seed)
+        # Lazy caches used by the batch engine (all bounded by the
+        # window's own user/pair population).
+        self._rai_cache: dict[tuple[int, int], tuple[float, float]] = {}
+        self._batch_tables: _BatchTables | None = None
+        self._discussed_base: dict[int, np.ndarray] = {}
 
     # -- precomputation -------------------------------------------------------
 
@@ -84,6 +151,7 @@ class FeatureExtractor:
         self._question_info: dict[int, QuestionInfo] = {}
         for thread in self.window:
             self._question_info[thread.thread_id] = self._info_from_thread(thread)
+        self._extra_question_info: OrderedDict[int, QuestionInfo] = OrderedDict()
 
     def _info_from_thread(self, thread: Thread) -> QuestionInfo:
         split = split_text_and_code(thread.question.body)
@@ -173,10 +241,22 @@ class FeatureExtractor:
     # -- per-feature computation ----------------------------------------------
 
     def _question_info_for(self, thread: Thread) -> QuestionInfo:
-        info = self._question_info.get(thread.thread_id)
-        if info is None:
-            info = self._info_from_thread(thread)
-            self._question_info[thread.thread_id] = info
+        tid = thread.thread_id
+        info = self._question_info.get(tid)
+        if info is not None:
+            return info
+        # Out-of-window thread: keep its info in a bounded LRU so a
+        # streaming caller (the online simulator routes every incoming
+        # question through here) cannot grow memory without bound.
+        extra = self._extra_question_info
+        info = extra.get(tid)
+        if info is not None:
+            extra.move_to_end(tid)
+            return info
+        info = self._info_from_thread(thread)
+        extra[tid] = info
+        if len(extra) > self._OUT_OF_WINDOW_CACHE_SIZE:
+            extra.popitem(last=False)
         return info
 
     def _history_view(self, user: int, exclude_thread: int):
@@ -203,6 +283,74 @@ class FeatureExtractor:
     @staticmethod
     def _tv_similarity(p: np.ndarray, q: np.ndarray) -> float:
         return float(1.0 - 0.5 * np.abs(p - q).sum())
+
+    def _tables(self) -> _BatchTables:
+        """The flat batch tables, built lazily on the first batch call."""
+        tbl = self._batch_tables
+        if tbl is not None:
+            return tbl
+        k = self.topics.n_topics
+        users = list(self._histories)
+        u_count = len(users)
+        counts = np.array(
+            [len(self._histories[u].answer_votes) for u in users],
+            dtype=np.int64,
+        )
+        total = int(counts.sum())
+        seg_start = np.zeros(u_count, dtype=np.int64)
+        if u_count > 1:
+            np.cumsum(counts[:-1], out=seg_start[1:])
+        votes_sum = np.empty(u_count)
+        median_rt = np.empty(u_count)
+        d_u = np.empty((u_count, k))
+        topic_sum = np.empty((u_count, k))
+        hist_topics = np.empty((total, k))
+        hist_votes = np.empty(total)
+        hist_answer_topics = np.empty((total, k))
+        times_sorted = np.empty(total)
+        time_rank = np.empty(total, dtype=np.int64)
+        row_of: dict[tuple[int, int], int] = {}
+        dup_users: set[int] = set()
+        for ui, user in enumerate(users):
+            h = self._histories[user]
+            lo = int(seg_start[ui])
+            hi = lo + int(counts[ui])
+            votes_sum[ui] = h.answer_votes.sum()
+            median_rt[ui] = np.median(h.response_times)
+            d_u[ui] = h.answer_topic_vectors.mean(axis=0)
+            topic_sum[ui] = h.answer_topic_vectors.sum(axis=0)
+            hist_topics[lo:hi] = h.answered_question_topics
+            hist_votes[lo:hi] = h.answer_votes
+            hist_answer_topics[lo:hi] = h.answer_topic_vectors
+            order = np.argsort(h.response_times, kind="stable")
+            times_sorted[lo:hi] = h.response_times[order]
+            rank = np.empty(len(order), dtype=np.int64)
+            rank[order] = np.arange(len(order))
+            time_rank[lo:hi] = rank
+            tid_list = h.answered_thread_ids.tolist()
+            if len(set(tid_list)) != len(tid_list):
+                dup_users.add(user)
+            else:
+                for row, tid in enumerate(tid_list):
+                    row_of[(user, tid)] = lo + row
+        tbl = _BatchTables(
+            user_index={u: ui for ui, u in enumerate(users)},
+            n=counts,
+            votes_sum=votes_sum,
+            median_rt=median_rt,
+            d_u=d_u,
+            topic_sum=topic_sum,
+            seg_start=seg_start,
+            hist_topics=hist_topics,
+            hist_votes=hist_votes,
+            hist_answer_topics=hist_answer_topics,
+            times_sorted=times_sorted,
+            time_rank=time_rank,
+            row_of=row_of,
+            dup_users=dup_users,
+        )
+        self._batch_tables = tbl
+        return tbl
 
     # -- public API ----------------------------------------------------------------
 
@@ -287,10 +435,359 @@ class FeatureExtractor:
         assert pos == self.spec.n_features
         return x
 
+    def features_batch(
+        self, pairs: Sequence[tuple[int, Thread]]
+    ) -> np.ndarray:
+        """x_uq vectors for many (user, question) pairs at once.
+
+        Element-wise equivalent to calling :meth:`features` per pair,
+        but per-question info is resolved once per distinct thread,
+        per-user aggregates once per user (adjusted only for the pairs
+        whose target thread the user actually answered), and the
+        topic-similarity blocks are vectorized over whole pair blocks.
+        """
+        pairs = list(pairs)
+        n = len(pairs)
+        x = np.empty((n, self.spec.n_features))
+        if n == 0:
+            return x
+        with perf.timer("features.batch"):
+            self._features_batch_into(pairs, x)
+        perf.incr("features.pairs_batched", n)
+        return x
+
     def feature_matrix(
         self, pairs: list[tuple[int, Thread]]
     ) -> np.ndarray:
         """Stacked feature vectors for (user, thread) pairs."""
-        if not pairs:
-            return np.empty((0, self.spec.n_features))
-        return np.vstack([self.features(u, t) for u, t in pairs])
+        return self.features_batch(pairs)
+
+    # -- batch engine ---------------------------------------------------------
+
+    def _features_batch_into(
+        self, pairs: list[tuple[int, Thread]], x: np.ndarray
+    ) -> None:
+        k = self.topics.n_topics
+        n = len(pairs)
+        users = [u for u, _ in pairs]
+        tids = [t.thread_id for _, t in pairs]
+        askers = [t.asker for _, t in pairs]
+
+        # Column offsets of the canonical FEATURE_ORDER layout (18 + 2K);
+        # the scalar path's sequential `put` calls define the same order.
+        c_n_answers, c_ratio, c_votes, c_median = 0, 1, 2, 3
+        c_du = slice(4, 4 + k)
+        c_qvotes, c_qword, c_qcode = 4 + k, 5 + k, 6 + k
+        c_dq = slice(7 + k, 7 + 2 * k)
+        (
+            c_suq,
+            c_guq,
+            c_euq,
+            c_suv,
+            c_huv,
+            c_qa_clo,
+            c_qa_bet,
+            c_qa_rai,
+            c_dense_clo,
+            c_dense_bet,
+            c_dense_rai,
+        ) = range(7 + 2 * k, 18 + 2 * k)
+        assert c_dense_rai == self.spec.n_features - 1
+
+        # Question features: resolve info once per distinct thread.
+        info_row: dict[int, int] = {}
+        q_scalars: list[tuple[float, float, float]] = []
+        q_topic_rows: list[np.ndarray] = []
+        for _, thread in pairs:
+            tid = thread.thread_id
+            if tid not in info_row:
+                info = self._question_info_for(thread)
+                info_row[tid] = len(q_scalars)
+                q_scalars.append((info.votes, info.word_length, info.code_length))
+                q_topic_rows.append(info.topics)
+        q_scalar_arr = np.asarray(q_scalars)
+        q_topic_arr = np.asarray(q_topic_rows).reshape(len(q_topic_rows), k)
+        rows = np.fromiter((info_row[tid] for tid in tids), dtype=np.int64, count=n)
+        x[:, c_qvotes] = q_scalar_arr[rows, 0]
+        x[:, c_qword] = q_scalar_arr[rows, 1]
+        x[:, c_qcode] = q_scalar_arr[rows, 2]
+        dq_all = q_topic_arr[rows]
+        x[:, c_dq] = dq_all
+
+        # User + user-question features, flat across the whole batch.
+        tbl = self._tables()
+        uniq_users, inv = np.unique(
+            np.asarray(users, dtype=np.int64), return_inverse=True
+        )
+        uniq_list = [int(u) for u in uniq_users]
+        asked = np.array(
+            [float(self._questions_asked.get(u, 0)) for u in uniq_list]
+        )[inv]
+        ui = np.array(
+            [tbl.user_index.get(u, -1) for u in uniq_list], dtype=np.int64
+        )[inv]
+
+        # Empty-history defaults everywhere, then overwrite known users.
+        d_u = np.empty((n, k))
+        d_u[:] = self._uniform
+        g = np.zeros(n)
+        e = np.zeros(n)
+        x[:, c_n_answers] = 0.0
+        x[:, c_ratio] = 0.0
+        x[:, c_votes] = 0.0
+        x[:, c_median] = self._global_median_response
+
+        kidx = np.flatnonzero(ui >= 0)
+        if kidx.size:
+            kui = ui[kidx]
+            counts = tbl.n[kui]
+            x[kidx, c_n_answers] = counts.astype(float)
+            x[kidx, c_ratio] = counts / (1.0 + asked[kidx])
+            x[kidx, c_votes] = tbl.votes_sum[kui]
+            x[kidx, c_median] = tbl.median_rt[kui]
+            d_u[kidx] = tbl.d_u[kui]
+
+            # One flat TV-similarity pass over every (pair, history-row)
+            # combination; segment i covers pair kidx[i]'s history block.
+            seg = np.zeros(kidx.size + 1, dtype=np.int64)
+            np.cumsum(counts, out=seg[1:])
+            total = int(seg[-1])
+            flat_pair = np.repeat(kidx, counts)
+            flat_rows = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(seg[:-1], counts)
+                + np.repeat(tbl.seg_start[kui], counts)
+            )
+            sims_flat = np.empty(total)
+            chunk = max(1, self._SIM_CHUNK_ELEMENTS // max(1, k))
+            for s in range(0, total, chunk):
+                sl = slice(s, s + chunk)
+                sims_flat[sl] = 1.0 - 0.5 * np.abs(
+                    tbl.hist_topics[flat_rows[sl]] - dq_all[flat_pair[sl]]
+                ).sum(axis=1)
+            g[kidx] = np.add.reduceat(sims_flat, seg[:-1])
+            e[kidx] = np.add.reduceat(
+                sims_flat * tbl.hist_votes[flat_rows], seg[:-1]
+            )
+
+            # Leakage-guard adjustments for pairs whose target thread the
+            # user answered: leave-one-row-out, vectorized over all of
+            # them at once via `row_of`; duplicate-tid users fall back to
+            # the scalar masked computation.
+            excl_pos: list[int] = []
+            excl_row: list[int] = []
+            slow_pos: list[int] = []
+            row_of = tbl.row_of
+            dup = tbl.dup_users
+            for pos, i in enumerate(kidx.tolist()):
+                u = users[i]
+                if u in dup:
+                    slow_pos.append(pos)
+                    continue
+                row = row_of.get((u, tids[i]))
+                if row is not None:
+                    excl_pos.append(pos)
+                    excl_row.append(row)
+            if excl_pos:
+                self._apply_exclusions(
+                    tbl,
+                    np.asarray(excl_pos, dtype=np.int64),
+                    np.asarray(excl_row, dtype=np.int64),
+                    kidx, ui, asked, seg, sims_flat, d_u, g, e, x,
+                )
+            for pos in slow_pos:
+                self._slow_exclusion(
+                    int(kidx[pos]), users, tids, asked, sims_flat,
+                    seg[pos], seg[pos + 1], d_u, g, e, x,
+                )
+        x[:, c_du] = d_u
+        x[:, c_guq] = g
+        x[:, c_euq] = e
+        x[:, c_suq] = 1.0 - 0.5 * np.abs(d_u - dq_all).sum(axis=1)
+
+        # s_uv over the whole batch at once.
+        t_user = self._discussed_matrix(users, tids)
+        t_asker = self._discussed_matrix(askers, tids)
+        x[:, c_suv] = 1.0 - 0.5 * np.abs(t_user - t_asker).sum(axis=1)
+
+        # h_uv with the shared-thread intersection memoized per (u, v).
+        empty: set[int] = set()
+        shared_cache: dict[tuple[int, int], int] = {}
+        for i in range(n):
+            u, a, tid = users[i], askers[i], tids[i]
+            key = (u, a)
+            count = shared_cache.get(key)
+            su = self._thread_sets.get(u, empty)
+            sa = self._thread_sets.get(a, empty)
+            if count is None:
+                count = len(su & sa)
+                shared_cache[key] = count
+            x[i, c_huv] = float(count - (1 if (tid in su and tid in sa) else 0))
+
+        # Centralities: one dict lookup per distinct user.
+        for col, table in (
+            (c_qa_clo, self._qa_closeness),
+            (c_qa_bet, self._qa_betweenness),
+            (c_dense_clo, self._dense_closeness),
+            (c_dense_bet, self._dense_betweenness),
+        ):
+            x[:, col] = np.array(
+                [table.get(u, 0.0) for u in uniq_list]
+            )[inv]
+
+        # Resource-allocation indices, memoized per (user, asker) across
+        # both graphs and batched per graph for the cache misses.
+        pair_keys = list(zip(users, askers))
+        missing = list(dict.fromkeys(
+            key for key in pair_keys if key not in self._rai_cache
+        ))
+        if missing:
+            qa_vals = resource_allocation_indices(self.qa_graph, missing)
+            dense_vals = resource_allocation_indices(self.dense_graph, missing)
+            for key, qa_v, dense_v in zip(missing, qa_vals, dense_vals):
+                self._rai_cache[key] = (qa_v, dense_v)
+        rai = np.array([self._rai_cache[key] for key in pair_keys])
+        x[:, c_qa_rai] = rai[:, 0]
+        x[:, c_dense_rai] = rai[:, 1]
+
+    def _apply_exclusions(
+        self,
+        tbl: _BatchTables,
+        excl_pos: np.ndarray,
+        excl_row: np.ndarray,
+        kidx: np.ndarray,
+        ui: np.ndarray,
+        asked: np.ndarray,
+        seg: np.ndarray,
+        sims_flat: np.ndarray,
+        d_u: np.ndarray,
+        g: np.ndarray,
+        e: np.ndarray,
+        x: np.ndarray,
+    ) -> None:
+        """Leave-one-row-out adjustment for every pair whose target
+        thread sits in the pair's user history, all users at once.
+
+        ``excl_pos`` indexes into ``kidx``/``seg`` (known-user order),
+        ``excl_row`` the matching rows of the concatenated history.
+        """
+        c_n_answers, c_ratio, c_votes, c_median = 0, 1, 2, 3
+        ei = kidx[excl_pos]
+        eui = ui[ei]
+        m = tbl.n[eui] - 1
+        delta = sims_flat[seg[excl_pos] + (excl_row - tbl.seg_start[eui])]
+        d_votes = tbl.hist_votes[excl_row]
+        nz = m > 0
+        inz, mm = ei[nz], m[nz]
+        if inz.size:
+            x[inz, c_n_answers] = mm.astype(float)
+            x[inz, c_ratio] = mm / (1.0 + asked[inz])
+            x[inz, c_votes] = tbl.votes_sum[eui[nz]] - d_votes[nz]
+            # Leave-one-out median by index arithmetic on the sorted
+            # times: removing sorted position p shifts indices >= p
+            # down by one.
+            st = tbl.times_sorted
+            off = tbl.seg_start[eui[nz]]
+            p = tbl.time_rank[excl_row[nz]]
+            med = np.empty(inz.size)
+            odd = (mm % 2).astype(bool)
+            if odd.any():
+                mid = (mm[odd] - 1) // 2
+                med[odd] = st[off[odd] + mid + (mid >= p[odd])]
+            even = ~odd
+            if even.any():
+                lo = mm[even] // 2 - 1
+                hi = mm[even] // 2
+                med[even] = (
+                    st[off[even] + lo + (lo >= p[even])]
+                    + st[off[even] + hi + (hi >= p[even])]
+                ) / 2.0
+            x[inz, c_median] = med
+            d_u[inz] = (
+                tbl.topic_sum[eui[nz]] - tbl.hist_answer_topics[excl_row[nz]]
+            ) / mm[:, None]
+            g[inz] -= delta[nz]
+            e[inz] -= delta[nz] * d_votes[nz]
+        # m == 0: the lone history row is the target thread itself —
+        # empty-history defaults, exactly as the scalar path.
+        iz = ei[~nz]
+        if iz.size:
+            x[iz, c_n_answers] = 0.0
+            x[iz, c_ratio] = 0.0
+            x[iz, c_votes] = 0.0
+            x[iz, c_median] = self._global_median_response
+            d_u[iz] = self._uniform
+            g[iz] = 0.0
+            e[iz] = 0.0
+
+    def _slow_exclusion(
+        self,
+        i: int,
+        users: list[int],
+        tids: list[int],
+        asked: np.ndarray,
+        sims_flat: np.ndarray,
+        seg_lo: int,
+        seg_hi: int,
+        d_u: np.ndarray,
+        g: np.ndarray,
+        e: np.ndarray,
+        x: np.ndarray,
+    ) -> None:
+        """Masked fallback for a pair whose user answered some thread
+        more than once (pre-preprocessing data): mirrors the scalar
+        path row for row."""
+        c_n_answers, c_ratio, c_votes, c_median = 0, 1, 2, 3
+        history = self._histories[users[i]]
+        mask = history.answered_thread_ids != tids[i]
+        if mask.all():
+            return  # target thread not in history: base values stand
+        if mask.any():
+            votes_v = history.answer_votes
+            row_sims = sims_flat[seg_lo:seg_hi][mask]
+            x[i, c_n_answers] = float(mask.sum())
+            x[i, c_ratio] = float(mask.sum()) / (1.0 + asked[i])
+            x[i, c_votes] = float(votes_v[mask].sum())
+            x[i, c_median] = float(np.median(history.response_times[mask]))
+            d_u[i] = history.answer_topic_vectors[mask].mean(axis=0)
+            g[i] = float(row_sims.sum())
+            e[i] = float((row_sims * votes_v[mask]).sum())
+        else:
+            x[i, c_n_answers] = 0.0
+            x[i, c_ratio] = 0.0
+            x[i, c_votes] = 0.0
+            x[i, c_median] = self._global_median_response
+            d_u[i] = self._uniform
+            g[i] = 0.0
+            e[i] = 0.0
+
+    def _discussed_matrix(
+        self, entities: list[int], tids: list[int]
+    ) -> np.ndarray:
+        """Rows of ``_topics_discussed(entity, tid)`` for a pair block.
+
+        The no-exclusion vector is cached per entity across batches
+        (extractor state is immutable); the exclusion-adjusted vectors
+        — every asker hits this for their own thread — are memoized per
+        (entity, tid) within the batch.
+        """
+        k = self.topics.n_topics
+        out = np.empty((len(entities), k))
+        base = self._discussed_base
+        adjusted: dict[tuple[int, int], np.ndarray] = {}
+        for i, (u, tid) in enumerate(zip(entities, tids)):
+            per_thread = self._discussed_by_thread.get(u)
+            if per_thread is not None and tid in per_thread:
+                key = (u, tid)
+                vec = adjusted.get(key)
+                if vec is None:
+                    vec = self._topics_discussed(u, tid)
+                    adjusted[key] = vec
+                out[i] = vec
+                continue
+            vec = base.get(u)
+            if vec is None:
+                vec = self._topics_discussed(u, _NO_THREAD)
+                base[u] = vec
+            out[i] = vec
+        return out

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import perf
 from ..forum.dataset import ForumDataset
 from ..ml.ranking import mean_reciprocal_rank, ndcg_at_k, precision_at_k
 from .pipeline import ForumPredictor, PredictorConfig
@@ -109,7 +110,8 @@ class OnlineRecommendationLoop:
         """Fit the predictor on the current window; False when infeasible."""
         if len(history) < 10 or history.num_answers < 10:
             return False
-        predictor = ForumPredictor(self.predictor_config).fit(history)
+        with perf.timer("online.refit"):
+            predictor = ForumPredictor(self.predictor_config).fit(history)
         self._router = QuestionRouter(
             predictor,
             epsilon=self.online_config.epsilon,
@@ -142,19 +144,23 @@ class OnlineRecommendationLoop:
             candidates = [u for u in self._candidates if u != thread.asker]
             if not candidates:
                 continue
-            # Who-will-answer ranking: candidates by predicted a_uq.
-            predictions = self._router.predictor.predict_batch(
-                [(u, thread) for u in candidates]
-            )
+            # Who-will-answer ranking: candidates by predicted a_uq
+            # (batch-featurized across the whole candidate set).
+            with perf.timer("online.rank"):
+                predictions = self._router.predictor.predict_batch(
+                    [(u, thread) for u in candidates]
+                )
+            perf.incr("online.candidate_pairs", len(candidates))
             order = np.argsort(-predictions["answer"], kind="stable")
             ranked = [candidates[i] for i in order[: cfg.top_k]]
             actual = set(thread.answerers)
             if actual:
                 report.rankings.append((ranked, actual))
             # Routing pick: the Sec.-V LP over the eligible set.
-            result = self._router.recommend(
-                thread, candidates, tradeoff=cfg.tradeoff
-            )
+            with perf.timer("online.route"):
+                result = self._router.recommend(
+                    thread, candidates, tradeoff=cfg.tradeoff
+                )
             if result is None:
                 continue
             report.n_routed += 1

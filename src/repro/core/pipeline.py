@@ -109,7 +109,6 @@ class ForumPredictor:
         if not records:
             raise ValueError("dataset has no answers to train on")
         pos_pairs = [(r.user, dataset.thread(r.thread_id)) for r in records]
-        x_pos = self.extractor.feature_matrix(pos_pairs)
         votes = np.array([r.votes for r in records], dtype=float)
         times = np.array([r.response_time for r in records], dtype=float)
         n_neg = max(1, int(round(len(records) * cfg.negative_ratio)))
@@ -117,12 +116,14 @@ class ForumPredictor:
             (u, dataset.thread(tid))
             for u, tid in dataset.sample_negative_pairs(n_neg, seed=cfg.seed)
         ]
-        x_neg = self.extractor.feature_matrix(neg_pairs)
+        # One batched featurization for positives and negatives; the
+        # answer and timing models share the stacked matrix.
+        all_pairs = pos_pairs + neg_pairs
+        x_all = self.extractor.feature_matrix(all_pairs)
+        x_pos = x_all[: len(pos_pairs)]
+        is_event = np.r_[np.ones(len(pos_pairs)), np.zeros(len(neg_pairs))]
 
-        self.answer_model = AnswerModel(l2=cfg.answer_l2).fit(
-            np.vstack([x_pos, x_neg]),
-            np.r_[np.ones(len(pos_pairs)), np.zeros(len(neg_pairs))],
-        )
+        self.answer_model = AnswerModel(l2=cfg.answer_l2).fit(x_all, is_event)
         self.vote_model = VoteModel(
             x_pos.shape[1],
             hidden=cfg.vote_hidden,
@@ -138,12 +139,8 @@ class ForumPredictor:
             epochs=cfg.timing_epochs,
             seed=cfg.seed,
         )
-        x_all = np.vstack([x_pos, x_neg])
         times_all = np.r_[times, np.zeros(len(neg_pairs))]
-        horizons_all = self._horizons(
-            [t for _, t in pos_pairs] + [t for _, t in neg_pairs]
-        )
-        is_event = np.r_[np.ones(len(pos_pairs)), np.zeros(len(neg_pairs))]
+        horizons_all = self._horizons([t for _, t in all_pairs])
         self.timing_model.fit(x_all, times_all, horizons_all, is_event)
         return self
 

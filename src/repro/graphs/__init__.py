@@ -13,6 +13,7 @@ from .link_metrics import (
     common_neighbors,
     jaccard_coefficient,
     resource_allocation_index,
+    resource_allocation_indices,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "common_neighbors",
     "jaccard_coefficient",
     "resource_allocation_index",
+    "resource_allocation_indices",
 ]

@@ -1,0 +1,150 @@
+"""Lightweight stage timers and counters for the hot paths.
+
+Every expensive stage (extractor construction, batch featurization,
+per-fold fit/eval, online refits) reports into a process-wide
+:class:`PerfRegistry` so speedups are observable rather than asserted:
+
+    from repro import perf
+
+    with perf.timer("features.batch"):
+        x = extractor.feature_matrix(pairs)
+    perf.incr("features.pairs", len(pairs))
+    print(perf.report())
+
+Timers nest freely and cost one ``perf.perf_counter`` pair each, so the
+instrumentation stays on permanently.  Registries are per process;
+worker processes of the parallel CV harness accumulate into their own
+registry, and the parent times the whole dispatch instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "StageStat",
+    "PerfRegistry",
+    "get_registry",
+    "timer",
+    "incr",
+    "report",
+    "reset",
+]
+
+
+@dataclass
+class StageStat:
+    """Accumulated timing of one named stage."""
+
+    calls: int = 0
+    total_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average seconds per call; 0.0 before the first call."""
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+class PerfRegistry:
+    """Thread-safe collection of named stage timers and counters."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._stages: dict[str, StageStat] = {}
+        self._counters: dict[str, int] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager accumulating wall-clock time under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def add_time(self, name: str, seconds: float) -> None:
+        with self._lock:
+            stat = self._stages.get(name)
+            if stat is None:
+                stat = self._stages[name] = StageStat()
+            stat.calls += 1
+            stat.total_seconds += seconds
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    # -- inspection --------------------------------------------------------
+
+    def stages(self) -> dict[str, StageStat]:
+        """Snapshot of all stage stats (copies, safe to keep)."""
+        with self._lock:
+            return {
+                name: StageStat(s.calls, s.total_seconds)
+                for name, s in self._stages.items()
+            }
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def stage(self, name: str) -> StageStat:
+        """Stats for one stage; zeros if it never ran."""
+        with self._lock:
+            stat = self._stages.get(name)
+            return StageStat(stat.calls, stat.total_seconds) if stat else StageStat()
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def report(self) -> str:
+        """Human-readable table of every stage and counter."""
+        lines = ["stage                                  calls      total      mean"]
+        for name in sorted(self._stages):
+            stat = self.stage(name)
+            lines.append(
+                f"{name:38s} {stat.calls:5d} {stat.total_seconds:9.4f}s"
+                f" {stat.mean_seconds:8.5f}s"
+            )
+        counters = self.counters()
+        if counters:
+            lines.append("counter                                value")
+            for name in sorted(counters):
+                lines.append(f"{name:38s} {counters[name]:6d}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._stages.clear()
+            self._counters.clear()
+
+
+_REGISTRY = PerfRegistry()
+
+
+def get_registry() -> PerfRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY
+
+
+def timer(name: str):
+    """``with perf.timer("stage"):`` on the default registry."""
+    return _REGISTRY.timer(name)
+
+
+def incr(name: str, amount: int = 1) -> None:
+    _REGISTRY.incr(name, amount)
+
+
+def report() -> str:
+    return _REGISTRY.report()
+
+
+def reset() -> None:
+    _REGISTRY.reset()

@@ -1,0 +1,107 @@
+"""Unit tests for repro.perf — stage timers and counters."""
+
+import threading
+
+import pytest
+
+from repro import perf
+from repro.perf import PerfRegistry, StageStat
+
+
+@pytest.fixture
+def registry():
+    return PerfRegistry()
+
+
+class TestStageStat:
+    def test_mean_of_empty_stage(self):
+        assert StageStat().mean_seconds == 0.0
+
+    def test_mean(self):
+        assert StageStat(calls=4, total_seconds=2.0).mean_seconds == 0.5
+
+
+class TestPerfRegistry:
+    def test_timer_accumulates(self, registry):
+        with registry.timer("stage"):
+            pass
+        with registry.timer("stage"):
+            pass
+        stat = registry.stage("stage")
+        assert stat.calls == 2
+        assert stat.total_seconds >= 0.0
+
+    def test_timer_records_on_exception(self, registry):
+        with pytest.raises(RuntimeError):
+            with registry.timer("boom"):
+                raise RuntimeError("x")
+        assert registry.stage("boom").calls == 1
+
+    def test_timers_nest(self, registry):
+        with registry.timer("outer"):
+            with registry.timer("inner"):
+                pass
+        assert registry.stage("outer").calls == 1
+        assert registry.stage("inner").calls == 1
+
+    def test_unknown_stage_is_zeroed(self, registry):
+        stat = registry.stage("never-ran")
+        assert stat.calls == 0
+        assert stat.total_seconds == 0.0
+
+    def test_counters(self, registry):
+        registry.incr("pairs")
+        registry.incr("pairs", 9)
+        assert registry.counter("pairs") == 10
+        assert registry.counter("missing") == 0
+
+    def test_snapshots_are_copies(self, registry):
+        with registry.timer("s"):
+            pass
+        snap = registry.stages()
+        snap["s"].calls = 99
+        assert registry.stage("s").calls == 1
+
+    def test_report_lists_stages_and_counters(self, registry):
+        with registry.timer("alpha"):
+            pass
+        registry.incr("widgets", 3)
+        text = registry.report()
+        assert "alpha" in text
+        assert "widgets" in text
+
+    def test_reset(self, registry):
+        with registry.timer("s"):
+            pass
+        registry.incr("c")
+        registry.reset()
+        assert registry.stages() == {}
+        assert registry.counters() == {}
+
+    def test_thread_safety(self, registry):
+        def work():
+            for _ in range(500):
+                registry.incr("hits")
+                registry.add_time("stage", 0.001)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter("hits") == 2000
+        assert registry.stage("stage").calls == 2000
+
+
+class TestModuleLevelApi:
+    def test_default_registry_is_shared(self):
+        assert perf.get_registry() is perf.get_registry()
+
+    def test_module_functions_hit_default_registry(self):
+        registry = perf.get_registry()
+        before = registry.stage("module-stage").calls
+        with perf.timer("module-stage"):
+            perf.incr("module-counter")
+        assert registry.stage("module-stage").calls == before + 1
+        assert registry.counter("module-counter") >= 1
+        assert "module-stage" in perf.report()
