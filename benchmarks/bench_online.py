@@ -1,33 +1,126 @@
-"""Extension — online deployment replay (paper Sec. VI future work).
+"""Online deployment replay: incremental state engine vs. full rebuild.
 
 Streams the benchmark forum through the periodic-refit recommendation
-loop: models are trained only on the past, every arriving question is
-ranked, and rankings are scored against the users who actually
-answered.
+loop three times:
+
+* ``incremental`` — one long-lived :class:`ForumState` absorbs each
+  thread (``append``/``evict``); refits freeze the state and warm-start
+  the task models;
+* ``rebuild`` + ``warm_start`` — the pre-incremental behaviour with
+  model reuse; must produce a report identical to the incremental run
+  (both freeze states holding the same threads under the same topics);
+* ``rebuild`` cold — topics, graphs and networks refit from scratch
+  every refit (the original fit monolith).
+
+The per-refit wall-clock of the ``online.refit`` stage is compared
+between the incremental and cold-rebuild runs, the speedup is asserted,
+and the measurement is recorded in ``BENCH_online.json`` at the repo
+root.
 """
+
+import json
+from pathlib import Path
 
 import numpy as np
 
+from conftest import FORUM_CONFIG
+
+from repro import perf
 from repro.core import OnlineConfig, OnlineRecommendationLoop
 
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_online.json"
 
-def test_online_deployment_replay(benchmark, dataset, config):
+ONLINE_KWARGS = dict(
+    refit_interval_hours=168.0,
+    window_hours=336.0,
+    warmup_hours=168.0,
+    epsilon=0.25,
+)
+
+
+def run_loop(config, dataset, **overrides):
+    """One replay in a private perf registry; returns per-refit timings."""
     loop = OnlineRecommendationLoop(
-        config,
-        OnlineConfig(
-            refit_interval_hours=168.0,
-            window_hours=336.0,
-            warmup_hours=168.0,
-            epsilon=0.25,
-        ),
+        config, OnlineConfig(**{**ONLINE_KWARGS, **overrides})
     )
-    report = benchmark.pedantic(loop.run, args=(dataset,), rounds=1, iterations=1)
+    with perf.use_registry() as registry:
+        report = loop.run(dataset)
+    return report, registry.samples("online.refit")
+
+
+def assert_reports_equal(a, b):
+    assert a.n_questions_seen == b.n_questions_seen
+    assert a.n_routed == b.n_routed
+    assert a.n_refits == b.n_refits
+    assert len(a.rankings) == len(b.rankings)
+    for (rank_a, rel_a), (rank_b, rel_b) in zip(a.rankings, b.rankings):
+        assert rank_a == rank_b
+        assert rel_a == rel_b
+    np.testing.assert_array_equal(
+        np.asarray(a.routed_scores), np.asarray(b.routed_scores)
+    )
+
+
+def test_online_refit_speedup(benchmark, dataset, config):
+    incremental, inc_times = run_loop(
+        config, dataset, refit_strategy="incremental"
+    )
+    warm, _ = run_loop(
+        config, dataset, refit_strategy="rebuild", warm_start=True
+    )
+    cold, cold_times = run_loop(
+        config, dataset, refit_strategy="rebuild", warm_start=False
+    )
+
+    # The incremental engine is an optimisation, not a model change:
+    # report-for-report identical to a warm full rebuild.
+    assert_reports_equal(incremental, warm)
+
+    report = benchmark.pedantic(
+        lambda: run_loop(config, dataset, refit_strategy="incremental")[0],
+        rounds=1,
+        iterations=1,
+    )
     pool = len(dataset.answerers)
     mean_relevant = float(np.mean([len(a) for _, a in report.rankings]))
     chance = mean_relevant / pool
+
+    # The first refit of either strategy is startup, not steady state:
+    # it fits topics and networks from scratch over the warmup window.
+    # Serving cost is the recurring refit, so that is what is asserted;
+    # the overall means are recorded alongside.
+    assert len(inc_times) >= 3 and len(cold_times) >= 3
+    inc_steady = float(np.mean(inc_times[1:]))
+    cold_steady = float(np.mean(cold_times[1:]))
+    speedup = cold_steady / inc_steady
+    overall_speedup = float(np.mean(cold_times) / np.mean(inc_times))
+    record = {
+        "forum": {
+            "n_users": FORUM_CONFIG.n_users,
+            "n_questions": FORUM_CONFIG.n_questions,
+        },
+        "n_refits": incremental.n_refits,
+        "n_questions_seen": incremental.n_questions_seen,
+        "incremental_refit_seconds": [round(t, 6) for t in inc_times],
+        "cold_rebuild_refit_seconds": [round(t, 6) for t in cold_times],
+        "incremental_steady_mean_seconds": round(inc_steady, 6),
+        "cold_rebuild_steady_mean_seconds": round(cold_steady, 6),
+        "steady_state_speedup": round(speedup, 2),
+        "overall_speedup": round(overall_speedup, 2),
+        "warm_rebuild_report_identical": True,
+        "precision_at_5": round(report.precision_at(5), 6),
+        "mrr": round(report.mrr, 6),
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
     print("\nOnline deployment replay")
     print(f"  questions seen / routed: {report.n_questions_seen} / {report.n_routed}")
     print(f"  refits: {report.n_refits}")
+    print(
+        f"  steady refit mean: incremental {inc_steady * 1e3:.0f} ms, "
+        f"cold rebuild {cold_steady * 1e3:.0f} ms, "
+        f"{speedup:.1f}x ({overall_speedup:.1f}x incl. startup) "
+        f"-> {RESULT_PATH.name}"
+    )
     print(f"  hit@1:  {report.hit_rate_at_1:.3f}")
     print(f"  P@5:    {report.precision_at(5):.3f}  (chance {chance:.3f})")
     print(f"  MRR:    {report.mrr:.3f}")
@@ -36,3 +129,4 @@ def test_online_deployment_replay(benchmark, dataset, config):
     assert report.n_routed > 0
     # Strictly-causal ranking must beat per-slot chance by 2x.
     assert report.precision_at(5) > 2.0 * chance
+    assert speedup >= 3.0

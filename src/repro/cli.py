@@ -7,6 +7,7 @@ Subcommands cover the library's end-to-end workflow:
 * ``train``     — fit the three predictors and save them;
 * ``evaluate``  — run the Table-I comparison on a dataset;
 * ``route``     — recommend answerers for a question with a saved model;
+* ``replay``    — stream a dataset through the online deployment loop;
 * ``validate``  — check a dataset file for integrity violations.
 
 Usage: ``python -m repro <subcommand> ...`` (see ``--help`` per command).
@@ -20,6 +21,8 @@ from pathlib import Path
 
 from .core import (
     ForumPredictor,
+    OnlineConfig,
+    OnlineRecommendationLoop,
     PredictorConfig,
     QuestionRouter,
     run_table1,
@@ -83,6 +86,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="write a repaired copy (invalid posts dropped) to this path",
+    )
+
+    replay = sub.add_parser(
+        "replay", help="stream a dataset through the online deployment loop"
+    )
+    replay.add_argument("--input", type=Path, required=True)
+    replay.add_argument("--topics", type=int, default=8)
+    replay.add_argument("--seed", type=int, default=0)
+    replay.add_argument("--betweenness-samples", type=int, default=None)
+    replay.add_argument(
+        "--strategy",
+        choices=("incremental", "rebuild"),
+        default="incremental",
+        help="refit by updating the live window state or by full rebuild",
+    )
+    replay.add_argument(
+        "--cold-start",
+        action="store_true",
+        help="refit topics and networks from scratch every refit "
+        "(rebuild strategy only)",
+    )
+    replay.add_argument("--refit-interval", type=float, default=120.0)
+    replay.add_argument("--window", type=float, default=480.0)
+    replay.add_argument("--warmup", type=float, default=120.0)
+    replay.add_argument("--top-k", type=int, default=5)
+    replay.add_argument(
+        "--perf", action="store_true", help="print the stage-timer report"
     )
 
     route = sub.add_parser("route", help="recommend answerers for a question")
@@ -169,6 +199,47 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+def _cmd_replay(args) -> int:
+    from . import perf
+
+    if args.cold_start and args.strategy == "incremental":
+        print(
+            "error: --cold-start requires --strategy rebuild", file=sys.stderr
+        )
+        return 2
+    dataset = load_dataset(args.input)
+    online = OnlineConfig(
+        refit_interval_hours=args.refit_interval,
+        window_hours=args.window,
+        warmup_hours=args.warmup,
+        top_k=args.top_k,
+        refit_strategy=args.strategy,
+        warm_start=not args.cold_start,
+    )
+    loop = OnlineRecommendationLoop(_config_from_args(args), online)
+    with perf.use_registry() as registry:
+        report = loop.run(dataset)
+    print(
+        f"strategy {args.strategy}: {report.n_refits} refits, "
+        f"{report.n_questions_seen} questions seen, {report.n_routed} routed"
+    )
+    refit = registry.stage("online.refit")
+    print(
+        f"refit time: {refit.total_seconds:.2f}s total, "
+        f"{refit.mean_seconds:.2f}s mean over {refit.calls} refits"
+    )
+    if report.rankings:
+        print(
+            f"hit@1 {report.hit_rate_at_1:.4f}  "
+            f"P@{args.top_k} {report.precision_at(args.top_k):.4f}  "
+            f"MRR {report.mrr:.4f}  "
+            f"NDCG@{args.top_k} {report.ndcg_at(args.top_k):.4f}"
+        )
+    if args.perf:
+        print(registry.report())
+    return 0
+
+
 def _cmd_route(args) -> int:
     dataset = load_dataset(args.input)
     if args.question_id not in dataset:
@@ -222,6 +293,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "validate": _cmd_validate,
     "route": _cmd_route,
+    "replay": _cmd_replay,
 }
 
 

@@ -24,9 +24,10 @@ from .evaluation import (
 from .features import FeatureExtractor, QuestionInfo
 from .featurespec import FEATURE_GROUPS, FEATURE_ORDER, FeatureSpec
 from .online import OnlineConfig, OnlineRecommendationLoop, OnlineReport
-from .persistence import load_predictor, save_predictor
+from .persistence import WindowMismatchError, load_predictor, save_predictor
 from .pipeline import ForumPredictor, Prediction, PredictorConfig
 from .routing import QuestionRouter, RoutingResult, solve_routing_lp
+from .state import ForumState, FrozenState
 from .timing_model import TimingModel
 from .tradeoff import (
     FrontierPoint,
@@ -44,6 +45,7 @@ __all__ = [
     "GroupOutcome",
     "load_predictor",
     "save_predictor",
+    "WindowMismatchError",
     "OnlineConfig",
     "OnlineRecommendationLoop",
     "OnlineReport",
@@ -77,6 +79,8 @@ __all__ = [
     "QuestionRouter",
     "RoutingResult",
     "solve_routing_lp",
+    "ForumState",
+    "FrozenState",
     "TimingModel",
     "FrontierPoint",
     "TradeoffFrontier",

@@ -2,7 +2,15 @@
 
 A :class:`FeatureExtractor` is built once over a *feature window* — the
 question set ``F(q)`` the paper computes features on — and then produces
-the vector ``x_uq`` for any (user, question) pair.
+the vector ``x_uq`` for any (user, question) pair.  All window-wide
+precomputation (per-question info, per-user histories, discussed-topic
+aggregates, SLN graphs and centralities) lives in
+:class:`repro.core.state.ForumState`; the extractor binds one frozen
+snapshot of it.  Batch callers construct from a dataset (which builds a
+throwaway state) or, on the streaming path, from a long-lived state via
+:meth:`FeatureExtractor.from_state` — the freeze then reuses every
+per-user block and centrality table that did not change since the last
+refit.
 
 Two equivalent paths produce the vectors:
 
@@ -30,7 +38,6 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from collections.abc import Sequence
-from dataclasses import dataclass
 
 import numpy as np
 
@@ -39,15 +46,17 @@ from ..forum.dataset import ForumDataset
 from ..forum.models import Thread
 from ..graphs import (
     UndirectedGraph,
-    betweenness_centrality,
-    build_dense_graph,
-    build_qa_graph,
-    closeness_centrality,
     resource_allocation_index,
     resource_allocation_indices,
 )
-from ..topics.tokenizer import split_text_and_code
 from .featurespec import FeatureSpec
+from .state import (
+    ForumState,
+    FrozenState,
+    QuestionInfo,
+    _BatchTables,
+    question_info_from_thread,
+)
 from .topic_context import TopicModelContext
 
 __all__ = ["FeatureExtractor", "QuestionInfo"]
@@ -55,56 +64,6 @@ __all__ = ["FeatureExtractor", "QuestionInfo"]
 # Sentinel thread id that never collides with a real (non-negative) id,
 # used to request "no exclusion" from the masked aggregate helpers.
 _NO_THREAD = -1
-
-
-@dataclass(frozen=True)
-class QuestionInfo:
-    """Per-question quantities: votes, lengths and topic distribution."""
-
-    votes: float
-    word_length: float
-    code_length: float
-    topics: np.ndarray
-
-
-@dataclass
-class _UserHistory:
-    """A user's answering history inside the feature window."""
-
-    answered_thread_ids: np.ndarray  # (n_i,)
-    answered_question_topics: np.ndarray  # (n_i, K)
-    answer_votes: np.ndarray  # (n_i,)
-    response_times: np.ndarray  # (n_i,)
-    answer_topic_vectors: np.ndarray  # (n_i, K) topics of the answers themselves
-
-
-@dataclass
-class _BatchTables:
-    """Flat per-user aggregate tables backing the batch engine.
-
-    Histories are concatenated row-wise (``seg_start`` delimits each
-    user's block) so whole pair batches reduce with one segmented sum
-    instead of per-user Python.  ``times_sorted``/``time_rank`` hold
-    each user's response times sorted within its block, which turns the
-    leave-one-row-out median into index arithmetic.  Users listed in
-    ``dup_users`` answered some thread more than once (pre-preprocessing
-    data) and take the masked fallback path instead of ``row_of``.
-    """
-
-    user_index: dict[int, int]  # user id -> row in the per-user tables
-    n: np.ndarray  # (U,) history lengths
-    votes_sum: np.ndarray  # (U,)
-    median_rt: np.ndarray  # (U,)
-    d_u: np.ndarray  # (U, K) answer_topic_vectors.mean(axis=0)
-    topic_sum: np.ndarray  # (U, K) answer_topic_vectors.sum(axis=0)
-    seg_start: np.ndarray  # (U,) offsets into the concatenated rows
-    hist_topics: np.ndarray  # (N, K) answered_question_topics, concatenated
-    hist_votes: np.ndarray  # (N,)
-    hist_answer_topics: np.ndarray  # (N, K)
-    times_sorted: np.ndarray  # (N,) response times, sorted per user block
-    time_rank: np.ndarray  # (N,) history row -> rank within its block
-    row_of: dict[tuple[int, int], int]  # (user, tid) -> concatenated row
-    dup_users: set[int]
 
 
 class FeatureExtractor:
@@ -126,119 +85,77 @@ class FeatureExtractor:
         betweenness_sample_size: int | None = None,
         seed: int = 0,
     ):
+        with perf.timer("features.build"):
+            state = ForumState.from_dataset(window, topics)
+            frozen = state.freeze(
+                betweenness_sample_size=betweenness_sample_size, seed=seed
+            )
+        self._bind(frozen, topics, window)
+
+    @classmethod
+    def from_state(
+        cls,
+        state: ForumState,
+        *,
+        betweenness_sample_size: int | None = None,
+        seed: int = 0,
+    ) -> "FeatureExtractor":
+        """Extractor over a live :class:`ForumState`'s current window.
+
+        This is the streaming path: the state's freeze reuses every
+        cached per-user block and centrality table that is still valid,
+        and the returned extractor holds an immutable snapshot — later
+        ``append``/``evict`` calls on the state do not affect it.
+        """
+        self = cls.__new__(cls)
+        with perf.timer("features.build"):
+            frozen = state.freeze(
+                betweenness_sample_size=betweenness_sample_size, seed=seed
+            )
+        self._bind(frozen, state.topics, state.to_dataset())
+        return self
+
+    def _bind(
+        self,
+        frozen: FrozenState,
+        topics: TopicModelContext,
+        window: ForumDataset,
+    ) -> None:
         self.window = window
         self.topics = topics
         self.spec = FeatureSpec(topics.n_topics)
         self._uniform = np.full(topics.n_topics, 1.0 / topics.n_topics)
-        with perf.timer("features.build"):
-            with perf.timer("features.build.question_info"):
-                self._build_question_info()
-            with perf.timer("features.build.user_histories"):
-                self._build_user_histories()
-            with perf.timer("features.build.discussion_topics"):
-                self._build_discussion_topics()
-            with perf.timer("features.build.graphs"):
-                self._build_graphs(betweenness_sample_size, seed)
+        self.frozen = frozen
+        self._question_info = frozen.question_info
+        self._extra_question_info: OrderedDict[int, QuestionInfo] = OrderedDict()
+        self._histories = frozen.histories
+        self._questions_asked = frozen.questions_asked
+        self._global_median_response = frozen.global_median_response
+        self._discussed_sum = frozen.discussed_sum
+        self._discussed_count = frozen.discussed_count
+        self._discussed_by_thread = frozen.discussed_by_thread
+        self._thread_sets = frozen.thread_sets
+        self.qa_graph: UndirectedGraph = frozen.qa_graph
+        self.dense_graph: UndirectedGraph = frozen.dense_graph
+        self._qa_closeness = frozen.qa_closeness
+        self._qa_betweenness = frozen.qa_betweenness
+        self._dense_closeness = frozen.dense_closeness
+        self._dense_betweenness = frozen.dense_betweenness
+        self._batch_tables = frozen.batch_tables
         # Lazy caches used by the batch engine (all bounded by the
         # window's own user/pair population).
         self._rai_cache: dict[tuple[int, int], tuple[float, float]] = {}
-        self._batch_tables: _BatchTables | None = None
         self._discussed_base: dict[int, np.ndarray] = {}
 
-    # -- precomputation -------------------------------------------------------
-
-    def _build_question_info(self) -> None:
-        self._question_info: dict[int, QuestionInfo] = {}
-        for thread in self.window:
-            self._question_info[thread.thread_id] = self._info_from_thread(thread)
-        self._extra_question_info: OrderedDict[int, QuestionInfo] = OrderedDict()
-
-    def _info_from_thread(self, thread: Thread) -> QuestionInfo:
-        split = split_text_and_code(thread.question.body)
-        return QuestionInfo(
-            votes=float(thread.question.votes),
-            word_length=float(split.word_length),
-            code_length=float(split.code_length),
-            topics=self.topics.post_topics(thread.question),
-        )
-
-    def _build_user_histories(self) -> None:
-        k = self.topics.n_topics
-        raw: dict[int, list[tuple[int, np.ndarray, float, float, np.ndarray]]] = {}
-        self._questions_asked: dict[int, int] = {}
-        all_response_times: list[float] = []
-        for thread in self.window:
-            q_topics = self._question_info[thread.thread_id].topics
-            self._questions_asked[thread.asker] = (
-                self._questions_asked.get(thread.asker, 0) + 1
-            )
-            for answer in thread.answers:
-                rt = answer.timestamp - thread.created_at
-                all_response_times.append(rt)
-                raw.setdefault(answer.author, []).append(
-                    (
-                        thread.thread_id,
-                        q_topics,
-                        float(answer.votes),
-                        rt,
-                        self.topics.post_topics(answer),
-                    )
-                )
-        self._histories: dict[int, _UserHistory] = {}
-        for user, items in raw.items():
-            self._histories[user] = _UserHistory(
-                answered_thread_ids=np.array([i[0] for i in items], dtype=int),
-                answered_question_topics=np.array([i[1] for i in items]).reshape(
-                    len(items), k
-                ),
-                answer_votes=np.array([i[2] for i in items]),
-                response_times=np.array([i[3] for i in items]),
-                answer_topic_vectors=np.array([i[4] for i in items]).reshape(
-                    len(items), k
-                ),
-            )
-        self._global_median_response = (
-            float(np.median(all_response_times)) if all_response_times else 1.0
-        )
-
-    def _build_discussion_topics(self) -> None:
-        """Per-user discussed-topic sums with per-thread exclusion support."""
-        k = self.topics.n_topics
-        self._discussed_sum: dict[int, np.ndarray] = {}
-        self._discussed_count: dict[int, int] = {}
-        self._discussed_by_thread: dict[int, dict[int, tuple[np.ndarray, int]]] = {}
-        for thread in self.window:
-            for post in thread.posts:
-                d = self.topics.post_topics(post)
-                u = post.author
-                self._discussed_sum[u] = self._discussed_sum.get(u, np.zeros(k)) + d
-                self._discussed_count[u] = self._discussed_count.get(u, 0) + 1
-                per_thread = self._discussed_by_thread.setdefault(u, {})
-                prev_sum, prev_count = per_thread.get(
-                    thread.thread_id, (np.zeros(k), 0)
-                )
-                per_thread[thread.thread_id] = (prev_sum + d, prev_count + 1)
-        self._thread_sets: dict[int, set[int]] = {}
-        for thread in self.window:
-            for u in [thread.asker, *thread.answerers]:
-                self._thread_sets.setdefault(u, set()).add(thread.thread_id)
-
-    def _build_graphs(
-        self, betweenness_sample_size: int | None, seed: int
-    ) -> None:
-        tuples = self.window.participant_tuples()
-        self.qa_graph: UndirectedGraph = build_qa_graph(tuples)
-        self.dense_graph: UndirectedGraph = build_dense_graph(tuples)
-        self._qa_closeness = closeness_centrality(self.qa_graph)
-        self._dense_closeness = closeness_centrality(self.dense_graph)
-        self._qa_betweenness = betweenness_centrality(
-            self.qa_graph, sample_sources=betweenness_sample_size, seed=seed
-        )
-        self._dense_betweenness = betweenness_centrality(
-            self.dense_graph, sample_sources=betweenness_sample_size, seed=seed
-        )
+    @property
+    def window_fingerprint(self) -> str:
+        """Digest of the bound window; persisted to guard reloads."""
+        return self.frozen.fingerprint
 
     # -- per-feature computation ----------------------------------------------
+
+    def _info_from_thread(self, thread: Thread) -> QuestionInfo:
+        return question_info_from_thread(thread, self.topics)
 
     def _question_info_for(self, thread: Thread) -> QuestionInfo:
         tid = thread.thread_id
@@ -285,72 +202,8 @@ class FeatureExtractor:
         return float(1.0 - 0.5 * np.abs(p - q).sum())
 
     def _tables(self) -> _BatchTables:
-        """The flat batch tables, built lazily on the first batch call."""
-        tbl = self._batch_tables
-        if tbl is not None:
-            return tbl
-        k = self.topics.n_topics
-        users = list(self._histories)
-        u_count = len(users)
-        counts = np.array(
-            [len(self._histories[u].answer_votes) for u in users],
-            dtype=np.int64,
-        )
-        total = int(counts.sum())
-        seg_start = np.zeros(u_count, dtype=np.int64)
-        if u_count > 1:
-            np.cumsum(counts[:-1], out=seg_start[1:])
-        votes_sum = np.empty(u_count)
-        median_rt = np.empty(u_count)
-        d_u = np.empty((u_count, k))
-        topic_sum = np.empty((u_count, k))
-        hist_topics = np.empty((total, k))
-        hist_votes = np.empty(total)
-        hist_answer_topics = np.empty((total, k))
-        times_sorted = np.empty(total)
-        time_rank = np.empty(total, dtype=np.int64)
-        row_of: dict[tuple[int, int], int] = {}
-        dup_users: set[int] = set()
-        for ui, user in enumerate(users):
-            h = self._histories[user]
-            lo = int(seg_start[ui])
-            hi = lo + int(counts[ui])
-            votes_sum[ui] = h.answer_votes.sum()
-            median_rt[ui] = np.median(h.response_times)
-            d_u[ui] = h.answer_topic_vectors.mean(axis=0)
-            topic_sum[ui] = h.answer_topic_vectors.sum(axis=0)
-            hist_topics[lo:hi] = h.answered_question_topics
-            hist_votes[lo:hi] = h.answer_votes
-            hist_answer_topics[lo:hi] = h.answer_topic_vectors
-            order = np.argsort(h.response_times, kind="stable")
-            times_sorted[lo:hi] = h.response_times[order]
-            rank = np.empty(len(order), dtype=np.int64)
-            rank[order] = np.arange(len(order))
-            time_rank[lo:hi] = rank
-            tid_list = h.answered_thread_ids.tolist()
-            if len(set(tid_list)) != len(tid_list):
-                dup_users.add(user)
-            else:
-                for row, tid in enumerate(tid_list):
-                    row_of[(user, tid)] = lo + row
-        tbl = _BatchTables(
-            user_index={u: ui for ui, u in enumerate(users)},
-            n=counts,
-            votes_sum=votes_sum,
-            median_rt=median_rt,
-            d_u=d_u,
-            topic_sum=topic_sum,
-            seg_start=seg_start,
-            hist_topics=hist_topics,
-            hist_votes=hist_votes,
-            hist_answer_topics=hist_answer_topics,
-            times_sorted=times_sorted,
-            time_rank=time_rank,
-            row_of=row_of,
-            dup_users=dup_users,
-        )
-        self._batch_tables = tbl
-        return tbl
+        """The flat batch tables (assembled by the state's freeze)."""
+        return self._batch_tables
 
     # -- public API ----------------------------------------------------------------
 

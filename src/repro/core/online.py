@@ -11,6 +11,32 @@ ranking metrics (hit rate, MRR, NDCG).
 Unlike the cross-validation harness, nothing here ever looks into the
 future: features, graphs and topics come only from threads created
 before the question being routed.
+
+Refits run on a fixed grid (``warmup_hours``, then every
+``refit_interval_hours``) anchored to the stream clock, not to arrival
+times, so cadence cannot drift when questions arrive in bursts; grid
+points with no arrivals are caught up at the next question.
+
+Two refit strategies share the loop:
+
+* ``"incremental"`` (default) — one long-lived
+  :class:`~repro.core.state.ForumState` absorbs each thread after it is
+  routed (``append``) and drops expired ones at refit time (``evict``);
+  each refit freezes the state and warm-starts the task models.  Topics
+  are fitted once, at the first feasible refit.
+* ``"rebuild"`` — the window state is rebuilt from scratch every refit
+  (the pre-incremental behaviour).  With ``warm_start=True`` this is
+  numerically identical to the incremental path — both freeze states
+  holding the same threads under the same topic context — which the
+  equivalence tests assert report-for-report.  With ``warm_start=False``
+  topics and networks are refit cold each time.
+
+One caveat inherited from the window semantics: refit windows are
+end-exclusive at the refit instant (``[now - window, now)``), and the
+incremental state holds *every* thread routed so far.  A thread whose
+``created_at`` exactly ties the refit time would therefore be excluded
+by the rebuild arm but included by the incremental one; with continuous
+timestamps such ties do not occur.
 """
 
 from __future__ import annotations
@@ -24,8 +50,14 @@ from ..forum.dataset import ForumDataset
 from ..ml.ranking import mean_reciprocal_rank, ndcg_at_k, precision_at_k
 from .pipeline import ForumPredictor, PredictorConfig
 from .routing import QuestionRouter
+from .state import ForumState
 
 __all__ = ["OnlineConfig", "OnlineReport", "OnlineRecommendationLoop"]
+
+# A refit window must hold at least this many threads and answers for
+# the models to be trainable at all.
+_MIN_THREADS = 10
+_MIN_ANSWERS = 10
 
 
 @dataclass(frozen=True)
@@ -39,6 +71,8 @@ class OnlineConfig:
     tradeoff: float = 0.2
     default_capacity: float = 5.0
     top_k: int = 5
+    refit_strategy: str = "incremental"  # or "rebuild"
+    warm_start: bool = True
 
     def __post_init__(self):
         if self.refit_interval_hours <= 0 or self.window_hours <= 0:
@@ -47,6 +81,15 @@ class OnlineConfig:
             raise ValueError("warmup_hours must be non-negative")
         if self.top_k < 1:
             raise ValueError("top_k must be >= 1")
+        if self.refit_strategy not in ("incremental", "rebuild"):
+            raise ValueError(
+                "refit_strategy must be 'incremental' or 'rebuild'"
+            )
+        if self.refit_strategy == "incremental" and not self.warm_start:
+            raise ValueError(
+                "incremental refits require warm_start: the state embeds "
+                "topic vectors, so the topic model cannot be refit cold"
+            )
 
 
 @dataclass
@@ -103,21 +146,52 @@ class OnlineRecommendationLoop:
     ):
         self.predictor_config = predictor_config or PredictorConfig()
         self.online_config = online_config or OnlineConfig()
+        self._predictor: ForumPredictor | None = None
+        self._state: ForumState | None = None
         self._router: QuestionRouter | None = None
         self._candidates: list[int] = []
 
-    def _refit(self, history: ForumDataset) -> bool:
-        """Fit the predictor on the current window; False when infeasible."""
-        if len(history) < 10 or history.num_answers < 10:
-            return False
-        with perf.timer("online.refit"):
-            predictor = ForumPredictor(self.predictor_config).fit(history)
+    def _feasible(self, n_threads: int, n_answers: int) -> bool:
+        return n_threads >= _MIN_THREADS and n_answers >= _MIN_ANSWERS
+
+    def _refit(self, dataset: ForumDataset, now: float) -> bool:
+        """Refit on the window ending at ``now``; False when infeasible."""
+        cfg = self.online_config
+        if self._predictor is None:
+            self._predictor = ForumPredictor(self.predictor_config)
+        predictor = self._predictor
+        start = max(0.0, now - cfg.window_hours)
+        if cfg.refit_strategy == "rebuild":
+            window = dataset.threads_in_window(start, now)
+            if not self._feasible(len(window), window.num_answers):
+                return False
+            with perf.timer("online.refit"):
+                predictor.fit(window, warm_start=cfg.warm_start)
+            candidates = window.answerers
+        elif self._state is None:
+            # First feasible refit: fit topics once, then bootstrap the
+            # long-lived state from the current window.
+            window = dataset.threads_in_window(start, now)
+            if not self._feasible(len(window), window.num_answers):
+                return False
+            with perf.timer("online.refit"):
+                predictor.fit_topics(window)
+                self._state = predictor.build_state(window)
+                predictor.refit_from_state(self._state)
+            candidates = self._state.answerers
+        else:
+            self._state.evict(start)
+            if not self._feasible(len(self._state), self._state.num_answers):
+                return False
+            with perf.timer("online.refit"):
+                predictor.refit_from_state(self._state)
+            candidates = self._state.answerers
         self._router = QuestionRouter(
             predictor,
-            epsilon=self.online_config.epsilon,
-            default_capacity=self.online_config.default_capacity,
+            epsilon=cfg.epsilon,
+            default_capacity=cfg.default_capacity,
         )
-        self._candidates = sorted(history.answerers)
+        self._candidates = sorted(candidates)
         return True
 
     def run(self, dataset: ForumDataset) -> OnlineReport:
@@ -132,39 +206,47 @@ class OnlineRecommendationLoop:
         for thread in dataset:  # already chronological
             now = thread.created_at
             if now >= next_refit:
-                window = dataset.threads_in_window(
-                    max(0.0, now - cfg.window_hours), now
-                )
-                if self._refit(window):
+                if self._refit(dataset, now):
                     report.n_refits += 1
-                next_refit = now + cfg.refit_interval_hours
-            if self._router is None or now < cfg.warmup_hours:
-                continue
-            report.n_questions_seen += 1
-            candidates = [u for u in self._candidates if u != thread.asker]
-            if not candidates:
-                continue
-            # Who-will-answer ranking: candidates by predicted a_uq
-            # (batch-featurized across the whole candidate set).
-            with perf.timer("online.rank"):
-                predictions = self._router.predictor.predict_batch(
-                    [(u, thread) for u in candidates]
-                )
-            perf.incr("online.candidate_pairs", len(candidates))
-            order = np.argsort(-predictions["answer"], kind="stable")
-            ranked = [candidates[i] for i in order[: cfg.top_k]]
-            actual = set(thread.answerers)
-            if actual:
-                report.rankings.append((ranked, actual))
-            # Routing pick: the Sec.-V LP over the eligible set.
-            with perf.timer("online.route"):
-                result = self._router.recommend(
-                    thread, candidates, tradeoff=cfg.tradeoff
-                )
-            if result is None:
-                continue
-            report.n_routed += 1
-            top_user = result.ranked_users()[0][0]
-            idx = int(np.flatnonzero(result.users == top_user)[0])
-            report.routed_scores.append(float(result.scores[idx]))
+                # Advance on the fixed grid, catching up over gaps, so
+                # the cadence never drifts with arrival times.
+                while next_refit <= now:
+                    next_refit += cfg.refit_interval_hours
+            self._route(thread, now, report)
+            # Fold the thread into the live window only after it has
+            # been routed — it must not inform its own recommendation.
+            if self._state is not None:
+                self._state.append(thread)
         return report
+
+    def _route(self, thread, now: float, report: OnlineReport) -> None:
+        cfg = self.online_config
+        if self._router is None or now < cfg.warmup_hours:
+            return
+        report.n_questions_seen += 1
+        candidates = [u for u in self._candidates if u != thread.asker]
+        if not candidates:
+            return
+        # Who-will-answer ranking: candidates by predicted a_uq
+        # (batch-featurized across the whole candidate set).
+        with perf.timer("online.rank"):
+            predictions = self._router.predictor.predict_batch(
+                [(u, thread) for u in candidates]
+            )
+        perf.incr("online.candidate_pairs", len(candidates))
+        order = np.argsort(-predictions["answer"], kind="stable")
+        ranked = [candidates[i] for i in order[: cfg.top_k]]
+        actual = set(thread.answerers)
+        if actual:
+            report.rankings.append((ranked, actual))
+        # Routing pick: the Sec.-V LP over the eligible set.
+        with perf.timer("online.route"):
+            result = self._router.recommend(
+                thread, candidates, tradeoff=cfg.tradeoff
+            )
+        if result is None:
+            return
+        report.n_routed += 1
+        top_user = result.ranked_users()[0][0]
+        idx = int(np.flatnonzero(result.users == top_user)[0])
+        report.routed_scores.append(float(result.scores[idx]))

@@ -7,6 +7,13 @@ single ``.npz`` archive.  ``load_predictor`` restores the predictor
 (datasets have their own serialization in :mod:`repro.forum.io`), from
 which the feature extractor's aggregates and graphs are rebuilt
 deterministically.
+
+Format v2 additionally snapshots a fingerprint of the feature window
+(thread count plus a digest of the (thread_id, created_at) pairs, see
+:func:`repro.forum.dataset.fingerprint_threads`); loading verifies the
+supplied window against it, so a predictor can no longer be silently
+rebuilt over the wrong threads.  Version-1 archives predate the
+fingerprint and still load, without the check.
 """
 
 from __future__ import annotations
@@ -25,9 +32,14 @@ from .features import FeatureExtractor
 from .pipeline import ForumPredictor, PredictorConfig
 from .topic_context import TopicModelContext
 
-__all__ = ["save_predictor", "load_predictor"]
+__all__ = ["save_predictor", "load_predictor", "WindowMismatchError"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+
+
+class WindowMismatchError(ValueError):
+    """The dataset supplied at load time is not the saved feature window."""
 
 
 def _mlp_arrays(prefix: str, net: MLP, meta: dict, arrays: dict) -> None:
@@ -76,7 +88,7 @@ def _scaler_from_arrays(prefix: str, meta: dict, arrays) -> StandardScaler:
 
 
 def save_predictor(predictor: ForumPredictor, path: str | Path) -> None:
-    """Persist a fitted predictor to a ``.npz`` archive."""
+    """Persist a fitted predictor to a ``.npz`` archive (format v2)."""
     if predictor.extractor is None:
         raise ValueError("predictor is not fitted")
     topics = predictor.topics
@@ -84,6 +96,7 @@ def save_predictor(predictor: ForumPredictor, path: str | Path) -> None:
         raise ValueError(
             "only variational-LDA predictors can be persisted (the default)"
         )
+    lda_meta, lda_lambda = topics.model.to_state()
     arrays: dict[str, np.ndarray] = {}
     meta: dict = {
         "version": _FORMAT_VERSION,
@@ -91,20 +104,20 @@ def save_predictor(predictor: ForumPredictor, path: str | Path) -> None:
             k: (list(v) if isinstance(v, tuple) else v)
             for k, v in predictor.config.__dict__.items()
         },
+        "window": {
+            "n_threads": len(predictor.extractor.window),
+            "fingerprint": predictor.extractor.window_fingerprint,
+        },
         "horizon_reference": predictor._horizon_reference,
         "max_train_time": predictor.timing_model._max_train_time,
         "timing_predictor": predictor.timing_model.predictor,
         "omega": predictor.timing_model.process.omega,
-        "vocabulary": topics.vocabulary.tokens,
-        "lda": {
-            "n_topics": topics.model.n_topics,
-            "alpha": topics.model.alpha,
-            "beta": topics.model.beta,
-        },
+        "vocabulary": topics.vocabulary.to_state(),
+        "lda": lda_meta,
         "answer_intercept": predictor.answer_model.classifier.intercept_,
         "answer_l2": predictor.answer_model.classifier.l2,
     }
-    arrays["lda_lambda"] = topics.model._lambda
+    arrays["lda_lambda"] = lda_lambda
     arrays["answer_coef"] = predictor.answer_model.classifier.coef_
     _scaler_arrays("answer_scaler", predictor.answer_model.scaler, meta, arrays)
     _scaler_arrays("vote_scaler", predictor.vote_model.scaler, meta, arrays)
@@ -123,6 +136,40 @@ def save_predictor(predictor: ForumPredictor, path: str | Path) -> None:
     np.savez_compressed(Path(path), **arrays)
 
 
+def _check_window(meta: dict, feature_window: ForumDataset) -> None:
+    """Format-v2 guard: the supplied window must be the one saved."""
+    saved = meta.get("window")
+    if saved is None:
+        return  # v1 archive: no fingerprint was recorded
+    if len(feature_window) != saved["n_threads"]:
+        raise WindowMismatchError(
+            f"feature window has {len(feature_window)} threads but the "
+            f"predictor was saved over {saved['n_threads']}; pass the "
+            "exact dataset the predictor was fitted on"
+        )
+    fingerprint = feature_window.fingerprint()
+    if fingerprint != saved["fingerprint"]:
+        raise WindowMismatchError(
+            "feature window fingerprint mismatch: the supplied dataset "
+            "holds different (thread_id, created_at) pairs than the one "
+            "the predictor was saved over"
+        )
+
+
+def _topics_from_meta(meta: dict, arrays) -> TopicModelContext:
+    """Restore the topic context from either archive format."""
+    if meta["version"] >= 2:
+        vocabulary = Vocabulary.from_state(meta["vocabulary"])
+        lda = LdaVariational.from_state(meta["lda"], arrays["lda_lambda"])
+    else:
+        # v1 stored the bare token list and a minimal LDA header.
+        vocabulary = Vocabulary.from_state({"tokens": meta["vocabulary"]})
+        lda_meta = dict(meta["lda"])
+        lda_meta.setdefault("vocab_size", len(vocabulary))
+        lda = LdaVariational.from_state(lda_meta, arrays["lda_lambda"])
+    return TopicModelContext(vocabulary, lda, post_topics={})
+
+
 def load_predictor(
     path: str | Path, feature_window: ForumDataset
 ) -> ForumPredictor:
@@ -130,35 +177,23 @@ def load_predictor(
 
     ``feature_window`` must be the same dataset the predictor was fitted
     on (feature aggregates and graphs are rebuilt from it; the learned
-    weights and topic model come from the archive).
+    weights and topic model come from the archive).  Format-v2 archives
+    carry the window's fingerprint and raise :class:`WindowMismatchError`
+    when the supplied dataset does not match.
     """
     with np.load(Path(path)) as archive:
         arrays = {k: archive[k] for k in archive.files}
     meta = json.loads(bytes(arrays.pop("__meta__")).decode("utf-8"))
-    if meta["version"] != _FORMAT_VERSION:
+    if meta["version"] not in _SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported predictor format version {meta['version']}")
+    _check_window(meta, feature_window)
     config_dict = dict(meta["config"])
     for key in ("vote_hidden", "excitation_hidden"):
         config_dict[key] = tuple(config_dict[key])
     config = PredictorConfig(**config_dict)
     predictor = ForumPredictor(config)
 
-    # Topic model: rebuild vocabulary + variational LDA with saved lambda.
-    vocabulary = Vocabulary()
-    vocabulary._id_to_token = list(meta["vocabulary"])
-    vocabulary._token_to_id = {t: i for i, t in enumerate(vocabulary._id_to_token)}
-    lda_meta = meta["lda"]
-    lda = LdaVariational(
-        lda_meta["n_topics"],
-        len(vocabulary),
-        alpha=lda_meta["alpha"],
-        beta=lda_meta["beta"],
-    )
-    lam = arrays["lda_lambda"]
-    lda._lambda = lam
-    lda.topic_word_ = lam / lam.sum(axis=1, keepdims=True)
-    lda.doc_topic_ = np.empty((0, lda_meta["n_topics"]))
-    predictor.topics = TopicModelContext(vocabulary, lda, post_topics={})
+    predictor.topics = _topics_from_meta(meta, arrays)
     predictor.extractor = FeatureExtractor(
         feature_window,
         predictor.topics,

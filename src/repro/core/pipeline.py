@@ -5,6 +5,17 @@ the feature window, build the SLN graphs, extract the 20 features, and
 train the three task models (answer probability, net votes, response
 time).  Prediction then works for any (user, question) pair, including
 brand-new questions.
+
+Training decomposes into three independently callable stages —
+:meth:`ForumPredictor.fit_topics`, :meth:`ForumPredictor.build_state`
+and :meth:`ForumPredictor.fit_models` — which :meth:`ForumPredictor.fit`
+composes for the one-shot batch path.  Streaming callers instead keep a
+long-lived :class:`~repro.core.state.ForumState` and call
+:meth:`ForumPredictor.refit_from_state` on each refit: with
+``warm_start`` the previously fitted topic model is kept (topic vectors
+are embedded in the state, so refitting them would invalidate it) and
+the vote/timing networks continue training from their current weights
+instead of a fresh initialization.
 """
 
 from __future__ import annotations
@@ -13,10 +24,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import perf
 from ..forum.dataset import ForumDataset
 from ..forum.models import Thread
 from .answer_model import AnswerModel
 from .features import FeatureExtractor
+from .state import ForumState
 from .timing_model import TimingModel
 from .topic_context import TopicModelContext
 from .vote_model import VoteModel
@@ -38,6 +51,7 @@ class PredictorConfig:
     answer_l2: float = 1e-2
     vote_epochs: int = 300
     timing_epochs: int = 300
+    warm_epochs: int = 60  # fine-tune budget when refitting warm
     negative_ratio: float = 1.0  # negatives per positive for task (i)
     betweenness_sample_size: int | None = None
     seed: int = 0
@@ -47,6 +61,8 @@ class PredictorConfig:
             raise ValueError("n_topics must be >= 1")
         if self.negative_ratio <= 0:
             raise ValueError("negative_ratio must be positive")
+        if self.warm_epochs < 1:
+            raise ValueError("warm_epochs must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -72,39 +88,42 @@ class ForumPredictor:
 
     # -- training -----------------------------------------------------------------
 
-    def fit(
-        self,
-        dataset: ForumDataset,
-        *,
-        feature_window: ForumDataset | None = None,
-    ) -> "ForumPredictor":
-        """Train all three models.
+    def fit_topics(self, window: ForumDataset) -> TopicModelContext:
+        """Stage 1: fit the topic model over the feature window."""
+        cfg = self.config
+        with perf.timer("pipeline.fit_topics"):
+            self.topics = TopicModelContext.fit(
+                window,
+                n_topics=cfg.n_topics,
+                method=cfg.lda_method,
+                min_count=cfg.lda_min_count,
+                seed=cfg.seed,
+            )
+        return self.topics
 
-        ``dataset`` supplies the training pairs (the paper's Omega);
-        ``feature_window`` the questions features are computed over (the
-        paper's F(q)), defaulting to ``dataset`` itself.
+    def build_state(self, window: ForumDataset) -> ForumState:
+        """Stage 2: a fresh incremental state holding the window.
+
+        Fits topics first if :meth:`fit_topics` has not run — the state
+        embeds per-post topic vectors, so it is bound to one context.
+        """
+        if self.topics is None:
+            self.fit_topics(window)
+        return ForumState.from_dataset(window, self.topics)
+
+    def fit_models(
+        self, dataset: ForumDataset, *, warm_start: bool = False
+    ) -> "ForumPredictor":
+        """Stage 3: train the three task models over ``dataset``.
+
+        Requires a bound extractor.  With ``warm_start`` the existing
+        vote/timing networks continue training from their current
+        weights; the answer model's logistic regression is convex and is
+        always refit from scratch.
         """
         cfg = self.config
-        window = feature_window if feature_window is not None else dataset
-        if len(dataset) == 0 or len(window) == 0:
-            raise ValueError("dataset and feature window must be non-empty")
-        self.topics = TopicModelContext.fit(
-            window,
-            n_topics=cfg.n_topics,
-            method=cfg.lda_method,
-            min_count=cfg.lda_min_count,
-            seed=cfg.seed,
-        )
-        self.extractor = FeatureExtractor(
-            window,
-            self.topics,
-            betweenness_sample_size=cfg.betweenness_sample_size,
-            seed=cfg.seed,
-        )
-        # The paper's horizon T: timestamp of the last post in the data.
-        self._horizon_reference = max(
-            dataset.duration_hours, window.duration_hours
-        )
+        if self.extractor is None:
+            raise RuntimeError("fit_models requires a bound extractor")
         records = dataset.answer_records()
         if not records:
             raise ValueError("dataset has no answers to train on")
@@ -123,26 +142,98 @@ class ForumPredictor:
         x_pos = x_all[: len(pos_pairs)]
         is_event = np.r_[np.ones(len(pos_pairs)), np.zeros(len(neg_pairs))]
 
-        self.answer_model = AnswerModel(l2=cfg.answer_l2).fit(x_all, is_event)
-        self.vote_model = VoteModel(
-            x_pos.shape[1],
-            hidden=cfg.vote_hidden,
-            epochs=cfg.vote_epochs,
-            seed=cfg.seed,
-        )
-        self.vote_model.fit(x_pos, votes)
-        self.timing_model = TimingModel(
-            x_pos.shape[1],
-            excitation_hidden=cfg.excitation_hidden,
-            decay=cfg.decay,
-            omega=cfg.omega,
-            epochs=cfg.timing_epochs,
-            seed=cfg.seed,
-        )
-        times_all = np.r_[times, np.zeros(len(neg_pairs))]
-        horizons_all = self._horizons([t for _, t in all_pairs])
-        self.timing_model.fit(x_all, times_all, horizons_all, is_event)
+        with perf.timer("pipeline.fit_models"):
+            self.answer_model = AnswerModel(l2=cfg.answer_l2).fit(
+                x_all, is_event
+            )
+            # Warm networks resume from trained weights, so a short
+            # fine-tuning budget replaces the full epoch schedule.
+            vote_warm = warm_start and self.vote_model is not None
+            if not vote_warm:
+                self.vote_model = VoteModel(
+                    x_pos.shape[1],
+                    hidden=cfg.vote_hidden,
+                    epochs=cfg.vote_epochs,
+                    seed=cfg.seed,
+                )
+            self.vote_model.fit(
+                x_pos, votes, epochs=cfg.warm_epochs if vote_warm else None
+            )
+            timing_warm = warm_start and self.timing_model is not None
+            if not timing_warm:
+                self.timing_model = TimingModel(
+                    x_pos.shape[1],
+                    excitation_hidden=cfg.excitation_hidden,
+                    decay=cfg.decay,
+                    omega=cfg.omega,
+                    epochs=cfg.timing_epochs,
+                    seed=cfg.seed,
+                )
+            times_all = np.r_[times, np.zeros(len(neg_pairs))]
+            horizons_all = self._horizons([t for _, t in all_pairs])
+            self.timing_model.fit(
+                x_all,
+                times_all,
+                horizons_all,
+                is_event,
+                epochs=cfg.warm_epochs if timing_warm else None,
+            )
         return self
+
+    def fit(
+        self,
+        dataset: ForumDataset,
+        *,
+        feature_window: ForumDataset | None = None,
+        warm_start: bool = False,
+    ) -> "ForumPredictor":
+        """Train all three models.
+
+        ``dataset`` supplies the training pairs (the paper's Omega);
+        ``feature_window`` the questions features are computed over (the
+        paper's F(q)), defaulting to ``dataset`` itself.  With
+        ``warm_start`` a previously fitted topic model is kept and the
+        vote/timing networks resume from their current weights — the
+        periodic-refit path of the online loop.
+        """
+        cfg = self.config
+        window = feature_window if feature_window is not None else dataset
+        if len(dataset) == 0 or len(window) == 0:
+            raise ValueError("dataset and feature window must be non-empty")
+        if not (warm_start and self.topics is not None):
+            self.fit_topics(window)
+        state = ForumState.from_dataset(window, self.topics)
+        return self.refit_from_state(
+            state, dataset=dataset, warm_start=warm_start
+        )
+
+    def refit_from_state(
+        self,
+        state: ForumState,
+        *,
+        dataset: ForumDataset | None = None,
+        warm_start: bool = True,
+    ) -> "ForumPredictor":
+        """Retrain against a state's current window without rebuilding it.
+
+        ``dataset`` (training pairs) defaults to the state's own window.
+        The extractor binds a frozen snapshot, so the caller can keep
+        appending to ``state`` while this predictor serves.
+        """
+        cfg = self.config
+        self.topics = state.topics
+        self.extractor = FeatureExtractor.from_state(
+            state,
+            betweenness_sample_size=cfg.betweenness_sample_size,
+            seed=cfg.seed,
+        )
+        if dataset is None:
+            dataset = self.extractor.window
+        # The paper's horizon T: timestamp of the last post in the data.
+        self._horizon_reference = max(
+            dataset.duration_hours, state.duration_hours
+        )
+        return self.fit_models(dataset, warm_start=warm_start)
 
     def _horizons(self, threads: list[Thread]) -> np.ndarray:
         """Observation window T - t(p_q0) per thread, floored at one hour."""

@@ -1,0 +1,560 @@
+"""Incremental forum state engine.
+
+:class:`ForumState` is a mutable, windowed view of the forum that owns
+everything the feature layer used to rescan from scratch on every fit:
+per-question :class:`QuestionInfo`, per-user answer histories,
+discussed-topic aggregates, thread co-occurrence sets, and the two SLN
+edge multisets.  ``append(thread)`` applies one thread's delta,
+``evict(before_hours)`` slides the window forward, and ``freeze()``
+materializes the read-only tables (:class:`FrozenState`) a
+:class:`~repro.core.features.FeatureExtractor` computes features from.
+
+Freezing is incremental where it matters: per-user reductions (medians,
+topic means, sorted response times) are cached and recomputed only for
+users whose history changed since the previous freeze, and graph
+centralities are recomputed only when the edge *set* actually changed
+(tracked by :class:`~repro.graphs.EdgeMultiset` versions).
+
+Determinism contract: a state reached by any append/evict history holds
+tables bit-identical to a state built fresh from the same thread window
+(``ForumState.from_dataset``).  Three rules make that hold:
+
+* threads must be appended in chronological order, so per-user row
+  lists always match the fresh-build iteration order;
+* cached per-user aggregates are pure functions of the row lists;
+* graphs are rebuilt in canonical (sorted) order before centralities,
+  so set-iteration order never depends on the mutation history.
+
+The online loop relies on this to make its incremental refit path
+produce the exact same :class:`OnlineReport` as a full rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import perf
+from ..forum.dataset import ForumDataset, fingerprint_threads
+from ..forum.models import Thread
+from ..graphs import (
+    EdgeMultiset,
+    UndirectedGraph,
+    betweenness_centrality,
+    closeness_centrality,
+    dense_links,
+    qa_links,
+)
+from ..topics.tokenizer import split_text_and_code
+from .topic_context import TopicModelContext
+
+__all__ = [
+    "QuestionInfo",
+    "ForumState",
+    "FrozenState",
+    "question_info_from_thread",
+]
+
+
+@dataclass(frozen=True)
+class QuestionInfo:
+    """Per-question quantities: votes, lengths and topic distribution."""
+
+    votes: float
+    word_length: float
+    code_length: float
+    topics: np.ndarray
+
+
+@dataclass
+class _UserHistory:
+    """A user's answering history inside the feature window."""
+
+    answered_thread_ids: np.ndarray  # (n_i,)
+    answered_question_topics: np.ndarray  # (n_i, K)
+    answer_votes: np.ndarray  # (n_i,)
+    response_times: np.ndarray  # (n_i,)
+    answer_topic_vectors: np.ndarray  # (n_i, K) topics of the answers themselves
+
+
+@dataclass
+class _BatchTables:
+    """Flat per-user aggregate tables backing the batch feature engine.
+
+    Histories are concatenated row-wise (``seg_start`` delimits each
+    user's block) so whole pair batches reduce with one segmented sum
+    instead of per-user Python.  ``times_sorted``/``time_rank`` hold
+    each user's response times sorted within its block, which turns the
+    leave-one-row-out median into index arithmetic.  Users listed in
+    ``dup_users`` answered some thread more than once (pre-preprocessing
+    data) and take the masked fallback path instead of ``row_of``.
+    """
+
+    user_index: dict[int, int]  # user id -> row in the per-user tables
+    n: np.ndarray  # (U,) history lengths
+    votes_sum: np.ndarray  # (U,)
+    median_rt: np.ndarray  # (U,)
+    d_u: np.ndarray  # (U, K) answer_topic_vectors.mean(axis=0)
+    topic_sum: np.ndarray  # (U, K) answer_topic_vectors.sum(axis=0)
+    seg_start: np.ndarray  # (U,) offsets into the concatenated rows
+    hist_topics: np.ndarray  # (N, K) answered_question_topics, concatenated
+    hist_votes: np.ndarray  # (N,)
+    hist_answer_topics: np.ndarray  # (N, K)
+    times_sorted: np.ndarray  # (N,) response times, sorted per user block
+    time_rank: np.ndarray  # (N,) history row -> rank within its block
+    row_of: dict[tuple[int, int], int]  # (user, tid) -> concatenated row
+    dup_users: set[int]
+
+
+def question_info_from_thread(
+    thread: Thread, topics: TopicModelContext
+) -> QuestionInfo:
+    """Question-side quantities of one thread under a topic context."""
+    split = split_text_and_code(thread.question.body)
+    return QuestionInfo(
+        votes=float(thread.question.votes),
+        word_length=float(split.word_length),
+        code_length=float(split.code_length),
+        topics=topics.post_topics(thread.question),
+    )
+
+
+@dataclass
+class _AnswerRow:
+    """One answer event inside a user's history, in arrival order."""
+
+    thread_id: int
+    question_topics: np.ndarray
+    votes: float
+    response_time: float
+    answer_topics: np.ndarray
+
+
+@dataclass
+class _UserSummary:
+    """Cached per-user freeze artifacts; valid until the rows change."""
+
+    history: _UserHistory
+    votes_sum: float
+    median_rt: float
+    d_u: np.ndarray
+    topic_sum: np.ndarray
+    times_sorted: np.ndarray
+    time_rank: np.ndarray
+    tid_rows: list[tuple[int, int]] | None  # (tid, local row); None if dup
+
+
+@dataclass(frozen=True)
+class FrozenState:
+    """Read-only snapshot of one freeze; what the extractor consumes.
+
+    Containers are copies (values are shared immutable artifacts), so
+    later ``append``/``evict`` calls on the owning state never leak into
+    an extractor already serving predictions.
+    """
+
+    question_info: dict[int, QuestionInfo]
+    histories: dict[int, _UserHistory]
+    questions_asked: dict[int, int]
+    global_median_response: float
+    discussed_sum: dict[int, np.ndarray]
+    discussed_count: dict[int, int]
+    discussed_by_thread: dict[int, dict[int, tuple[np.ndarray, int]]]
+    thread_sets: dict[int, set[int]]
+    qa_graph: UndirectedGraph
+    dense_graph: UndirectedGraph
+    qa_closeness: dict[int, float]
+    qa_betweenness: dict[int, float]
+    dense_closeness: dict[int, float]
+    dense_betweenness: dict[int, float]
+    batch_tables: _BatchTables
+    duration_hours: float
+    n_threads: int
+    fingerprint: str
+
+
+class ForumState:
+    """Mutable windowed forum view with delta updates and lazy freezing."""
+
+    def __init__(self, topics: TopicModelContext):
+        self.topics = topics
+        self._threads: dict[int, Thread] = {}
+        self._last_created = float("-inf")
+        self._num_answers = 0
+        self._question_info: dict[int, QuestionInfo] = {}
+        self._rows: dict[int, list[_AnswerRow]] = {}
+        self._questions_asked: dict[int, int] = {}
+        # Per-user, per-thread discussed-topic contributions, insertion
+        # (= chronological) ordered: user -> {tid: (topic sum, n posts)}.
+        self._discussed: dict[int, dict[int, tuple[np.ndarray, int]]] = {}
+        self._thread_sets: dict[int, set[int]] = {}
+        self._qa = EdgeMultiset(qa_links)
+        self._dense = EdgeMultiset(dense_links)
+        # Freeze caches.
+        self._dirty_users: set[int] = set()
+        self._summaries: dict[int, _UserSummary] = {}
+        self._dirty_discussed: set[int] = set()
+        self._discussed_totals: dict[int, tuple[np.ndarray, int]] = {}
+        self._rt_dirty = True
+        self._global_median = 1.0
+        self._centrality_key: tuple | None = None
+        self._centralities: tuple[dict, dict, dict, dict] | None = None
+        self._frozen: FrozenState | None = None
+        self._frozen_key: tuple | None = None
+
+    @classmethod
+    def from_dataset(
+        cls, window: ForumDataset, topics: TopicModelContext
+    ) -> "ForumState":
+        """State holding exactly the window's threads (chronological)."""
+        state = cls(topics)
+        for thread in window:
+            state.append(thread)
+        return state
+
+    # -- basic access ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._threads)
+
+    def __contains__(self, thread_id: int) -> bool:
+        return thread_id in self._threads
+
+    @property
+    def num_answers(self) -> int:
+        return self._num_answers
+
+    @property
+    def answerers(self) -> set[int]:
+        return set(self._rows)
+
+    @property
+    def duration_hours(self) -> float:
+        """Timestamp of the last post held (paper's horizon T)."""
+        last = 0.0
+        for t in self._threads.values():
+            last = max(last, t.created_at)
+            if t.answers:
+                last = max(last, t.answers[-1].timestamp)
+        return last
+
+    def to_dataset(self) -> ForumDataset:
+        """The held threads as an immutable :class:`ForumDataset`."""
+        return ForumDataset(self._threads.values())
+
+    def fingerprint(self) -> str:
+        """Digest of the held (thread_id, created_at) pairs."""
+        return fingerprint_threads(self._threads.values())
+
+    # -- mutation -------------------------------------------------------------
+
+    def append(self, thread: Thread) -> None:
+        """Fold one arriving thread (question + its answers) into the state."""
+        tid = thread.thread_id
+        if tid in self._threads:
+            raise ValueError(f"thread {tid} already in state")
+        if thread.created_at < self._last_created:
+            raise ValueError(
+                "threads must be appended in chronological order "
+                f"(got {thread.created_at} after {self._last_created})"
+            )
+        with perf.timer("state.append"):
+            self._last_created = thread.created_at
+            self._threads[tid] = thread
+            info = question_info_from_thread(thread, self.topics)
+            self._question_info[tid] = info
+            asker = thread.asker
+            self._questions_asked[asker] = self._questions_asked.get(asker, 0) + 1
+            for answer in thread.answers:
+                self._rows.setdefault(answer.author, []).append(
+                    _AnswerRow(
+                        thread_id=tid,
+                        question_topics=info.topics,
+                        votes=float(answer.votes),
+                        response_time=answer.timestamp - thread.created_at,
+                        answer_topics=self.topics.post_topics(answer),
+                    )
+                )
+                self._dirty_users.add(answer.author)
+            self._num_answers += len(thread.answers)
+            if thread.answers:
+                self._rt_dirty = True
+            k = self.topics.n_topics
+            for post in thread.posts:
+                d = self.topics.post_topics(post)
+                per_user = self._discussed.setdefault(post.author, {})
+                prev_sum, prev_count = per_user.get(tid, (np.zeros(k), 0))
+                per_user[tid] = (prev_sum + d, prev_count + 1)
+                self._dirty_discussed.add(post.author)
+            answerers = thread.answerers
+            for user in {asker, *answerers}:
+                self._thread_sets.setdefault(user, set()).add(tid)
+            self._qa.add_thread(asker, answerers)
+            self._dense.add_thread(asker, answerers)
+            self._frozen = None
+        perf.incr("state.threads_appended")
+
+    def evict(self, before_hours: float) -> int:
+        """Drop threads created before ``before_hours``; returns the count."""
+        stale = []
+        for thread in self._threads.values():
+            if thread.created_at >= before_hours:
+                break  # appends are chronological, so iteration is too
+            stale.append(thread)
+        with perf.timer("state.evict"):
+            for thread in stale:
+                self._remove_thread(thread)
+            if stale:
+                self._frozen = None
+        perf.incr("state.threads_evicted", len(stale))
+        return len(stale)
+
+    def _remove_thread(self, thread: Thread) -> None:
+        tid = thread.thread_id
+        del self._threads[tid]
+        del self._question_info[tid]
+        asker = thread.asker
+        remaining = self._questions_asked[asker] - 1
+        if remaining:
+            self._questions_asked[asker] = remaining
+        else:
+            del self._questions_asked[asker]
+        answerers = thread.answerers
+        for user in answerers:
+            rows = [r for r in self._rows[user] if r.thread_id != tid]
+            if rows:
+                self._rows[user] = rows
+                self._dirty_users.add(user)
+            else:
+                del self._rows[user]
+                self._dirty_users.discard(user)
+                self._summaries.pop(user, None)
+        self._num_answers -= len(thread.answers)
+        if thread.answers:
+            self._rt_dirty = True
+        for user in {post.author for post in thread.posts}:
+            per_user = self._discussed[user]
+            del per_user[tid]
+            if per_user:
+                self._dirty_discussed.add(user)
+            else:
+                del self._discussed[user]
+                self._dirty_discussed.discard(user)
+                self._discussed_totals.pop(user, None)
+        for user in {asker, *answerers}:
+            members = self._thread_sets[user]
+            members.discard(tid)
+            if not members:
+                del self._thread_sets[user]
+        self._qa.remove_thread(asker, answerers)
+        self._dense.remove_thread(asker, answerers)
+
+    # -- freezing -------------------------------------------------------------
+
+    def _refresh_summaries(self) -> None:
+        k = self.topics.n_topics
+        refreshed = 0
+        for user in self._dirty_users:
+            rows = self._rows.get(user)
+            if rows is None:
+                self._summaries.pop(user, None)
+                continue
+            n = len(rows)
+            history = _UserHistory(
+                answered_thread_ids=np.array(
+                    [r.thread_id for r in rows], dtype=int
+                ),
+                answered_question_topics=np.array(
+                    [r.question_topics for r in rows]
+                ).reshape(n, k),
+                answer_votes=np.array([r.votes for r in rows]),
+                response_times=np.array([r.response_time for r in rows]),
+                answer_topic_vectors=np.array(
+                    [r.answer_topics for r in rows]
+                ).reshape(n, k),
+            )
+            order = np.argsort(history.response_times, kind="stable")
+            rank = np.empty(n, dtype=np.int64)
+            rank[order] = np.arange(n)
+            tids = history.answered_thread_ids.tolist()
+            tid_rows: list[tuple[int, int]] | None
+            if len(set(tids)) != len(tids):
+                tid_rows = None
+            else:
+                tid_rows = list(zip(tids, range(n)))
+            self._summaries[user] = _UserSummary(
+                history=history,
+                votes_sum=float(history.answer_votes.sum()),
+                median_rt=float(np.median(history.response_times)),
+                d_u=history.answer_topic_vectors.mean(axis=0),
+                topic_sum=history.answer_topic_vectors.sum(axis=0),
+                times_sorted=history.response_times[order],
+                time_rank=rank,
+                tid_rows=tid_rows,
+            )
+            refreshed += 1
+        self._dirty_users.clear()
+        perf.incr("state.users_refreshed", refreshed)
+
+    def _refresh_discussed(self) -> None:
+        k = self.topics.n_topics
+        for user in self._dirty_discussed:
+            per_user = self._discussed.get(user)
+            if per_user is None:
+                self._discussed_totals.pop(user, None)
+                continue
+            total = np.zeros(k)
+            count = 0
+            for vec, n_posts in per_user.values():
+                total = total + vec
+                count += n_posts
+            self._discussed_totals[user] = (total, count)
+        self._dirty_discussed.clear()
+
+    def _assemble_tables(self) -> _BatchTables:
+        k = self.topics.n_topics
+        # Canonical (sorted) user layout: the dict's insertion order
+        # depends on the append/evict history, and the tables must be
+        # identical however the window was reached.
+        users = sorted(self._rows)
+        u_count = len(users)
+        counts = np.array(
+            [len(self._rows[u]) for u in users], dtype=np.int64
+        )
+        total = int(counts.sum())
+        seg_start = np.zeros(u_count, dtype=np.int64)
+        if u_count > 1:
+            np.cumsum(counts[:-1], out=seg_start[1:])
+        votes_sum = np.empty(u_count)
+        median_rt = np.empty(u_count)
+        d_u = np.empty((u_count, k))
+        topic_sum = np.empty((u_count, k))
+        hist_topics = np.empty((total, k))
+        hist_votes = np.empty(total)
+        hist_answer_topics = np.empty((total, k))
+        times_sorted = np.empty(total)
+        time_rank = np.empty(total, dtype=np.int64)
+        row_of: dict[tuple[int, int], int] = {}
+        dup_users: set[int] = set()
+        for ui, user in enumerate(users):
+            s = self._summaries[user]
+            lo = int(seg_start[ui])
+            hi = lo + int(counts[ui])
+            votes_sum[ui] = s.votes_sum
+            median_rt[ui] = s.median_rt
+            d_u[ui] = s.d_u
+            topic_sum[ui] = s.topic_sum
+            h = s.history
+            hist_topics[lo:hi] = h.answered_question_topics
+            hist_votes[lo:hi] = h.answer_votes
+            hist_answer_topics[lo:hi] = h.answer_topic_vectors
+            times_sorted[lo:hi] = s.times_sorted
+            time_rank[lo:hi] = s.time_rank
+            if s.tid_rows is None:
+                dup_users.add(user)
+            else:
+                for tid, row in s.tid_rows:
+                    row_of[(user, tid)] = lo + row
+        return _BatchTables(
+            user_index={u: ui for ui, u in enumerate(users)},
+            n=counts,
+            votes_sum=votes_sum,
+            median_rt=median_rt,
+            d_u=d_u,
+            topic_sum=topic_sum,
+            seg_start=seg_start,
+            hist_topics=hist_topics,
+            hist_votes=hist_votes,
+            hist_answer_topics=hist_answer_topics,
+            times_sorted=times_sorted,
+            time_rank=time_rank,
+            row_of=row_of,
+            dup_users=dup_users,
+        )
+
+    def _refresh_centralities(
+        self, betweenness_sample_size: int | None, seed: int
+    ) -> tuple[dict, dict, dict, dict]:
+        key = (self._qa.version, self._dense.version, betweenness_sample_size, seed)
+        if self._centrality_key == key and self._centralities is not None:
+            perf.incr("state.centrality_cache_hits")
+            return self._centralities
+        with perf.timer("state.centrality"):
+            qa_graph = self._qa.graph()
+            dense_graph = self._dense.graph()
+            self._centralities = (
+                closeness_centrality(qa_graph),
+                betweenness_centrality(
+                    qa_graph,
+                    sample_sources=betweenness_sample_size,
+                    seed=seed,
+                ),
+                closeness_centrality(dense_graph),
+                betweenness_centrality(
+                    dense_graph,
+                    sample_sources=betweenness_sample_size,
+                    seed=seed,
+                ),
+            )
+        self._centrality_key = key
+        return self._centralities
+
+    def freeze(
+        self, *, betweenness_sample_size: int | None = None, seed: int = 0
+    ) -> FrozenState:
+        """Materialize the read-only tables for the current window.
+
+        Unchanged per-user blocks and unchanged graph topologies are
+        served from caches; a repeated call with the same parameters on
+        an unmutated state returns the previous snapshot.
+        """
+        key = (betweenness_sample_size, seed)
+        if self._frozen is not None and self._frozen_key == key:
+            return self._frozen
+        with perf.timer("state.freeze"):
+            self._refresh_summaries()
+            self._refresh_discussed()
+            if self._rt_dirty:
+                all_times = [
+                    r.response_time
+                    for rows in self._rows.values()
+                    for r in rows
+                ]
+                self._global_median = (
+                    float(np.median(all_times)) if all_times else 1.0
+                )
+                self._rt_dirty = False
+            qa_clo, qa_bet, dense_clo, dense_bet = self._refresh_centralities(
+                betweenness_sample_size, seed
+            )
+            self._frozen = FrozenState(
+                question_info=dict(self._question_info),
+                histories={
+                    u: self._summaries[u].history for u in self._rows
+                },
+                questions_asked=dict(self._questions_asked),
+                global_median_response=self._global_median,
+                discussed_sum={
+                    u: total for u, (total, _) in self._discussed_totals.items()
+                },
+                discussed_count={
+                    u: count for u, (_, count) in self._discussed_totals.items()
+                },
+                discussed_by_thread={
+                    u: dict(per) for u, per in self._discussed.items()
+                },
+                thread_sets={u: set(s) for u, s in self._thread_sets.items()},
+                qa_graph=self._qa.graph(),
+                dense_graph=self._dense.graph(),
+                qa_closeness=qa_clo,
+                qa_betweenness=qa_bet,
+                dense_closeness=dense_clo,
+                dense_betweenness=dense_bet,
+                batch_tables=self._assemble_tables(),
+                duration_hours=self.duration_hours,
+                n_threads=len(self._threads),
+                fingerprint=self.fingerprint(),
+            )
+            self._frozen_key = key
+        return self._frozen

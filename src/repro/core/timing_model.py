@@ -73,12 +73,16 @@ class TimingModel:
         times: np.ndarray,
         horizons: np.ndarray,
         is_event: np.ndarray,
+        *,
+        epochs: int | None = None,
     ) -> PointProcessFitResult:
         """Maximize the point-process likelihood over event/non-event pairs.
 
         ``horizons`` is the per-pair observation window ``T - t(p_q0)``
         (paper notation), ``times`` the observed response delay for
-        event rows.
+        event rows.  ``epochs`` overrides the configured budget for one
+        call; warm refits pass a reduced budget to fine-tune the
+        already-trained process instead of re-running the full schedule.
         """
         times = np.asarray(times, dtype=float)
         is_event = np.asarray(is_event, dtype=float)
@@ -96,7 +100,7 @@ class TimingModel:
             np.asarray(horizons, dtype=float),
             np.asarray(is_event, dtype=float),
             optimizer=Adam(learning_rate=self.learning_rate),
-            epochs=self.epochs,
+            epochs=self.epochs if epochs is None else epochs,
             batch_size=self.batch_size,
             validation_fraction=self.validation_fraction,
             patience=self.patience,

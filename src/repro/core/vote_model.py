@@ -51,12 +51,16 @@ class VoteModel:
         self.seed = seed
         self._fitted = False
 
-    def fit(self, x: np.ndarray, votes: np.ndarray) -> FitResult:
+    def fit(
+        self, x: np.ndarray, votes: np.ndarray, *, epochs: int | None = None
+    ) -> FitResult:
         """Train on feature rows of answered pairs and their net votes.
 
         Uses an internal validation split with early stopping — the small
         deep network of the paper overfits badly on a few hundred
-        answers without it.
+        answers without it.  ``epochs`` overrides the configured budget
+        for one call; warm refits pass a reduced budget to fine-tune the
+        already-trained network instead of re-running the full schedule.
         """
         z = self.scaler.fit_transform(np.asarray(x, dtype=float))
         result = self.network.fit(
@@ -64,7 +68,7 @@ class VoteModel:
             np.asarray(votes, dtype=float),
             loss="mse",
             optimizer=Adam(learning_rate=self.learning_rate),
-            epochs=self.epochs,
+            epochs=self.epochs if epochs is None else epochs,
             batch_size=self.batch_size,
             validation_fraction=self.validation_fraction,
             patience=self.patience,

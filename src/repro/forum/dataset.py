@@ -10,6 +10,7 @@ Sec. III-A preprocessing steps, in order:
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
@@ -18,7 +19,26 @@ import numpy as np
 
 from .models import HOURS_PER_DAY, Post, Thread
 
-__all__ = ["ForumDataset", "AnswerRecord", "PreprocessReport"]
+__all__ = [
+    "ForumDataset",
+    "AnswerRecord",
+    "PreprocessReport",
+    "fingerprint_threads",
+]
+
+
+def fingerprint_threads(threads: Iterable[Thread]) -> str:
+    """Stable digest of a thread collection's (thread_id, created_at) pairs.
+
+    Order-independent (pairs are hashed in sorted order), so a dataset
+    slice and an incrementally maintained state holding the same threads
+    produce the same fingerprint.  Used by predictor persistence to
+    reject a reload against the wrong feature window.
+    """
+    digest = hashlib.sha256()
+    for tid, created in sorted((t.thread_id, t.created_at) for t in threads):
+        digest.update(f"{tid}:{created!r};".encode())
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -89,6 +109,10 @@ class ForumDataset:
             if t.answers:
                 last = max(last, t.answers[-1].timestamp)
         return last
+
+    def fingerprint(self) -> str:
+        """Digest of (thread_id, created_at) pairs; see ``fingerprint_threads``."""
+        return fingerprint_threads(self.threads)
 
     # -- preprocessing (Sec. III-A) -------------------------------------------
 

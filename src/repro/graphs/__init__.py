@@ -1,6 +1,13 @@
 """Graph substrate: the Social Learning Network graphs and their metrics."""
 
-from .builders import build_dense_graph, build_qa_graph
+from .builders import (
+    EdgeMultiset,
+    build_dense_graph,
+    build_qa_graph,
+    dense_links,
+    qa_links,
+    thread_participants,
+)
 from .centrality import betweenness_centrality, closeness_centrality
 from .graph import UndirectedGraph
 from .statistics import (
@@ -17,8 +24,12 @@ from .link_metrics import (
 )
 
 __all__ = [
+    "EdgeMultiset",
     "build_dense_graph",
     "build_qa_graph",
+    "dense_links",
+    "qa_links",
+    "thread_participants",
     "betweenness_centrality",
     "closeness_centrality",
     "UndirectedGraph",

@@ -7,6 +7,13 @@
 
 Both builders consume thread participant tuples ``(asker, answerers)``
 so they stay decoupled from the forum data model.
+
+For streaming windows, :class:`EdgeMultiset` maintains the same link
+structure incrementally: each thread's links are reference-counted, so
+appending and later evicting a thread restores the exact edge set, and
+``version`` only advances when the *set* of present nodes or edges
+actually changes — consumers key centrality caches on it and skip
+recomputation when the topology is unchanged.
 """
 
 from __future__ import annotations
@@ -15,9 +22,46 @@ from collections.abc import Hashable, Iterable, Sequence
 
 from .graph import UndirectedGraph
 
-__all__ = ["build_qa_graph", "build_dense_graph"]
+__all__ = [
+    "build_qa_graph",
+    "build_dense_graph",
+    "thread_participants",
+    "qa_links",
+    "dense_links",
+    "EdgeMultiset",
+]
 
 ThreadParticipants = tuple[Hashable, Sequence[Hashable]]
+
+
+def thread_participants(
+    asker: Hashable, answerers: Sequence[Hashable]
+) -> list[Hashable]:
+    """Distinct thread participants, asker first."""
+    participants = [asker]
+    for answerer in answerers:
+        if answerer not in participants:
+            participants.append(answerer)
+    return participants
+
+
+def qa_links(
+    participants: Sequence[Hashable],
+) -> list[tuple[Hashable, Hashable]]:
+    """Asker-to-answerer links of one thread (participants asker-first)."""
+    asker = participants[0]
+    return [(asker, answerer) for answerer in participants[1:]]
+
+
+def dense_links(
+    participants: Sequence[Hashable],
+) -> list[tuple[Hashable, Hashable]]:
+    """All co-participant pairs of one thread (participants asker-first)."""
+    return [
+        (u, v)
+        for i, u in enumerate(participants)
+        for v in participants[i + 1 :]
+    ]
 
 
 def build_qa_graph(threads: Iterable[ThreadParticipants]) -> UndirectedGraph:
@@ -34,13 +78,101 @@ def build_dense_graph(threads: Iterable[ThreadParticipants]) -> UndirectedGraph:
     """Denser graph: all thread co-participants pairwise linked."""
     graph = UndirectedGraph()
     for asker, answerers in threads:
-        participants = [asker]
-        for answerer in answerers:
-            if answerer not in participants:
-                participants.append(answerer)
+        participants = thread_participants(asker, answerers)
         for u in participants:
             graph.add_node(u)
-        for i, u in enumerate(participants):
-            for v in participants[i + 1 :]:
-                graph.add_edge(u, v)
+        for u, v in dense_links(participants):
+            graph.add_edge(u, v)
     return graph
+
+
+class EdgeMultiset:
+    """Reference-counted node/edge sets with change tracking.
+
+    ``add_thread``/``remove_thread`` apply one thread's links (produced
+    by ``qa_links`` or ``dense_links``); a node or edge is *present*
+    while at least one live thread contributes it.  ``graph()`` returns
+    the present topology as an :class:`UndirectedGraph` built in
+    canonical (sorted) insertion order, so two multisets holding the
+    same threads yield bit-identical graphs regardless of the
+    add/remove history — a requirement for the incremental online loop
+    to reproduce the full-rebuild path exactly.
+    """
+
+    def __init__(self, link_fn):
+        self._link_fn = link_fn
+        self._node_count: dict[Hashable, int] = {}
+        self._edge_count: dict[tuple[Hashable, Hashable], int] = {}
+        self.version = 0
+        self._graph_cache: tuple[int, UndirectedGraph] | None = None
+
+    @staticmethod
+    def _key(u: Hashable, v: Hashable) -> tuple[Hashable, Hashable]:
+        return (u, v) if u <= v else (v, u)
+
+    def add_thread(
+        self, asker: Hashable, answerers: Sequence[Hashable]
+    ) -> None:
+        """Reference one thread's nodes and links."""
+        changed = False
+        participants = thread_participants(asker, answerers)
+        for node in participants:
+            count = self._node_count.get(node, 0)
+            self._node_count[node] = count + 1
+            changed |= count == 0
+        for u, v in self._link_fn(participants):
+            if u == v:
+                continue
+            key = self._key(u, v)
+            count = self._edge_count.get(key, 0)
+            self._edge_count[key] = count + 1
+            changed |= count == 0
+        if changed:
+            self.version += 1
+
+    def remove_thread(
+        self, asker: Hashable, answerers: Sequence[Hashable]
+    ) -> None:
+        """Drop one thread's references; present sets shrink at zero."""
+        changed = False
+        participants = thread_participants(asker, answerers)
+        for node in participants:
+            count = self._node_count[node] - 1
+            if count == 0:
+                del self._node_count[node]
+                changed = True
+            else:
+                self._node_count[node] = count
+        for u, v in self._link_fn(participants):
+            if u == v:
+                continue
+            key = self._key(u, v)
+            count = self._edge_count[key] - 1
+            if count == 0:
+                del self._edge_count[key]
+                changed = True
+            else:
+                self._edge_count[key] = count
+        if changed:
+            self.version += 1
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_count)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_count)
+
+    def graph(self) -> UndirectedGraph:
+        """Canonical graph of the present nodes/edges (cached per version)."""
+        cached = self._graph_cache
+        if cached is not None and cached[0] == self.version:
+            return cached[1]
+        graph = UndirectedGraph()
+        for node in sorted(self._node_count):
+            graph.add_node(node)
+        for u, v in sorted(self._edge_count):
+            graph.add_edge(u, v)
+        self._graph_cache = (self.version, graph)
+        return graph

@@ -35,6 +35,18 @@ class UndirectedGraph:
         for u, v in edges:
             self.add_edge(u, v)
 
+    def remove_edge(self, u: Hashable, v: Hashable) -> None:
+        """Remove an undirected edge; raises ``KeyError`` if absent."""
+        if v not in self._adj.get(u, ()):
+            raise KeyError((u, v))
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+
+    def remove_node(self, node: Hashable) -> None:
+        """Remove a node and all its incident edges."""
+        for nbr in self._adj.pop(node):
+            self._adj[nbr].discard(node)
+
     # -- queries -----------------------------------------------------------
 
     def __contains__(self, node: Hashable) -> bool:

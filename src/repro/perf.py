@@ -28,6 +28,7 @@ __all__ = [
     "StageStat",
     "PerfRegistry",
     "get_registry",
+    "use_registry",
     "timer",
     "incr",
     "report",
@@ -54,6 +55,7 @@ class PerfRegistry:
     def __init__(self):
         self._lock = threading.Lock()
         self._stages: dict[str, StageStat] = {}
+        self._samples: dict[str, list[float]] = {}
         self._counters: dict[str, int] = {}
 
     # -- recording ---------------------------------------------------------
@@ -72,8 +74,10 @@ class PerfRegistry:
             stat = self._stages.get(name)
             if stat is None:
                 stat = self._stages[name] = StageStat()
+                self._samples[name] = []
             stat.calls += 1
             stat.total_seconds += seconds
+            self._samples[name].append(seconds)
 
     def incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
@@ -103,6 +107,15 @@ class PerfRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def samples(self, name: str) -> list[float]:
+        """Per-call durations of one stage in recording order.
+
+        Lets benchmarks separate one-time costs from steady state (e.g.
+        the first online refit pays the warmup topic fit).
+        """
+        with self._lock:
+            return list(self._samples.get(name, ()))
+
     def report(self) -> str:
         """Human-readable table of every stage and counter."""
         lines = ["stage                                  calls      total      mean"]
@@ -122,6 +135,7 @@ class PerfRegistry:
     def reset(self) -> None:
         with self._lock:
             self._stages.clear()
+            self._samples.clear()
             self._counters.clear()
 
 
@@ -131,6 +145,32 @@ _REGISTRY = PerfRegistry()
 def get_registry() -> PerfRegistry:
     """The process-wide default registry."""
     return _REGISTRY
+
+
+@contextmanager
+def use_registry(registry: PerfRegistry | None = None):
+    """Route the module-level helpers to ``registry`` inside the block.
+
+    Benchmarks and tests use this to measure one code path in a private
+    registry without resetting (or polluting) the process-wide stats:
+
+        with perf.use_registry() as reg:
+            loop.run(dataset)
+        print(reg.stage("online.refit").total_seconds)
+
+    A fresh registry is created when none is given.  Not safe to nest
+    across threads — the swap is process-global, matching how the
+    default registry is used.
+    """
+    global _REGISTRY
+    if registry is None:
+        registry = PerfRegistry()
+    previous = _REGISTRY
+    _REGISTRY = registry
+    try:
+        yield registry
+    finally:
+        _REGISTRY = previous
 
 
 def timer(name: str):

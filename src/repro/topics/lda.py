@@ -312,6 +312,49 @@ class LdaVariational(_LdaBase):
         )
         return gamma / gamma.sum(axis=1, keepdims=True)
 
+    def to_state(self) -> tuple[dict, np.ndarray]:
+        """(JSON-serializable metadata, lambda array) snapshot.
+
+        ``lambda`` fully determines inference on held-out documents, so
+        the pair restores a model whose :meth:`transform` is identical.
+        """
+        self._check_fitted()
+        meta = {
+            "n_topics": self.n_topics,
+            "vocab_size": self.vocab_size,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "n_iter": self.n_iter,
+            "inner_iter": self.inner_iter,
+            "tol": self.tol,
+            "seed": self.seed,
+        }
+        return meta, self._lambda
+
+    @classmethod
+    def from_state(cls, meta: dict, lam: np.ndarray) -> "LdaVariational":
+        """Rebuild a fitted model from a :meth:`to_state` snapshot."""
+        lam = np.asarray(lam, dtype=float)
+        model = cls(
+            int(meta["n_topics"]),
+            int(meta.get("vocab_size", lam.shape[1])),
+            alpha=meta["alpha"],
+            beta=meta["beta"],
+            n_iter=int(meta.get("n_iter", 30)),
+            inner_iter=int(meta.get("inner_iter", 40)),
+            tol=meta.get("tol", 1e-4),
+            seed=int(meta.get("seed", 0)),
+        )
+        if lam.shape != (model.n_topics, model.vocab_size):
+            raise ValueError(
+                f"lambda shape {lam.shape} does not match "
+                f"({model.n_topics}, {model.vocab_size})"
+            )
+        model._lambda = lam
+        model.topic_word_ = lam / lam.sum(axis=1, keepdims=True)
+        model.doc_topic_ = np.empty((0, model.n_topics))
+        return model
+
 
 def fit_lda(
     docs: list[np.ndarray],

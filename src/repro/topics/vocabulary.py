@@ -55,6 +55,29 @@ class Vocabulary:
         self._token_to_id = {tok: i for i, tok in enumerate(self._id_to_token)}
         return self
 
+    def to_state(self) -> dict:
+        """JSON-serializable snapshot; restore with :meth:`from_state`."""
+        return {
+            "min_count": self.min_count,
+            "max_size": self.max_size,
+            "tokens": self.tokens,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Vocabulary":
+        """Rebuild a fitted vocabulary from a :meth:`to_state` snapshot."""
+        vocab = cls(
+            min_count=state.get("min_count", 1),
+            max_size=state.get("max_size"),
+        )
+        vocab._id_to_token = list(state["tokens"])
+        vocab._token_to_id = {
+            tok: i for i, tok in enumerate(vocab._id_to_token)
+        }
+        if len(vocab._token_to_id) != len(vocab._id_to_token):
+            raise ValueError("vocabulary state contains duplicate tokens")
+        return vocab
+
     def token_id(self, token: str) -> int:
         """Id of a token; raises ``KeyError`` if absent."""
         return self._token_to_id[token]

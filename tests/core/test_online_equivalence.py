@@ -1,0 +1,82 @@
+"""Incremental online refits must reproduce the full-rebuild loop exactly.
+
+The incremental strategy exists purely as an optimisation: each refit
+freezes the long-lived state instead of rebuilding the window, but both
+paths construct their extractor through ``ForumState.freeze`` over the
+same threads with the same topic context, so every ranking, every routed
+score and every metric must come out identical to a warm full rebuild.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineConfig, OnlineRecommendationLoop
+
+ONLINE_KWARGS = dict(
+    refit_interval_hours=240.0,
+    window_hours=480.0,
+    warmup_hours=240.0,
+    epsilon=0.2,
+)
+
+
+def run(dataset, predictor_config, **overrides):
+    loop = OnlineRecommendationLoop(
+        predictor_config, OnlineConfig(**ONLINE_KWARGS, **overrides)
+    )
+    return loop.run(dataset)
+
+
+class TestStrategyConfig:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="refit_strategy"):
+            OnlineConfig(refit_strategy="bogus")
+
+    def test_incremental_requires_warm_start(self):
+        with pytest.raises(ValueError, match="warm_start"):
+            OnlineConfig(refit_strategy="incremental", warm_start=False)
+
+
+class TestEquivalence:
+    @pytest.fixture(scope="class")
+    def reports(self, dataset, predictor_config):
+        incremental = run(
+            dataset, predictor_config, refit_strategy="incremental"
+        )
+        rebuild = run(
+            dataset,
+            predictor_config,
+            refit_strategy="rebuild",
+            warm_start=True,
+        )
+        return incremental, rebuild
+
+    def test_counters_identical(self, reports):
+        incremental, rebuild = reports
+        assert incremental.n_questions_seen == rebuild.n_questions_seen
+        assert incremental.n_routed == rebuild.n_routed
+        assert incremental.n_refits == rebuild.n_refits
+        assert incremental.n_refits >= 2
+
+    def test_rankings_identical(self, reports):
+        incremental, rebuild = reports
+        assert len(incremental.rankings) == len(rebuild.rankings)
+        for (rank_a, actual_a), (rank_b, actual_b) in zip(
+            incremental.rankings, rebuild.rankings
+        ):
+            assert rank_a == rank_b
+            assert actual_a == actual_b
+
+    def test_routed_scores_identical(self, reports):
+        incremental, rebuild = reports
+        np.testing.assert_array_equal(
+            np.asarray(incremental.routed_scores),
+            np.asarray(rebuild.routed_scores),
+        )
+
+    def test_metrics_identical(self, reports):
+        incremental, rebuild = reports
+        assert incremental.hit_rate_at_1 == rebuild.hit_rate_at_1
+        assert incremental.precision_at(5) == rebuild.precision_at(5)
+        assert incremental.mrr == rebuild.mrr
+        assert incremental.ndcg_at(5) == rebuild.ndcg_at(5)

@@ -57,3 +57,110 @@ class TestRoundTrip:
         save_predictor(fitted, path)
         assert path.exists()
         assert path.stat().st_size > 1000
+
+
+class TestWindowFingerprint:
+    """Format v2 pins the archive to the exact feature window."""
+
+    def test_wrong_thread_count_rejected(self, fitted, dataset, tmp_path):
+        from repro.core.persistence import WindowMismatchError
+
+        path = tmp_path / "predictor.npz"
+        save_predictor(fitted, path)
+        truncated = dataset.subset(
+            t.thread_id for t in dataset.threads[: len(dataset) - 3]
+        )
+        with pytest.raises(WindowMismatchError, match="threads"):
+            load_predictor(path, truncated)
+
+    def test_same_count_different_threads_rejected(
+        self, fitted, dataset, tmp_path
+    ):
+        import dataclasses
+
+        from repro.core.persistence import WindowMismatchError
+        from repro.forum.dataset import ForumDataset
+
+        path = tmp_path / "predictor.npz"
+        save_predictor(fitted, path)
+        # Same thread count, but one question nudged in time: the count
+        # check passes and the fingerprint catches the difference.
+        first = dataset.threads[0]
+        nudged = dataclasses.replace(
+            first,
+            question=dataclasses.replace(
+                first.question, timestamp=first.question.timestamp + 0.5
+            ),
+        )
+        tampered = ForumDataset([nudged] + dataset.threads[1:])
+        assert len(tampered) == len(dataset)
+        with pytest.raises(WindowMismatchError, match="fingerprint"):
+            load_predictor(path, tampered)
+
+    def test_exact_window_accepted(self, fitted, dataset, tmp_path):
+        path = tmp_path / "predictor.npz"
+        save_predictor(fitted, path)
+        loaded = load_predictor(path, dataset)
+        assert loaded.extractor.window_fingerprint == dataset.fingerprint()
+
+
+def _downgrade_to_v1(path):
+    """Rewrite a v2 archive in the version-1 layout (no window block,
+    bare vocabulary token list, minimal LDA header)."""
+    import json
+
+    import numpy as np
+
+    with np.load(path) as archive:
+        arrays = {k: archive[k] for k in archive.files}
+    meta = json.loads(bytes(arrays.pop("__meta__")).decode("utf-8"))
+    meta["version"] = 1
+    del meta["window"]
+    meta["vocabulary"] = meta["vocabulary"]["tokens"]
+    meta["lda"].pop("vocab_size", None)
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+class TestFormatV1BackCompat:
+    def test_v1_archive_loads(self, fitted, dataset, tmp_path):
+        path = tmp_path / "predictor.npz"
+        save_predictor(fitted, path)
+        _downgrade_to_v1(path)
+        loaded = load_predictor(path, dataset)
+        assert loaded.config == fitted.config
+        user = next(iter(dataset.answerers))
+        thread = dataset.threads[0]
+        assert loaded.predict(user, thread).answer_probability == pytest.approx(
+            fitted.predict(user, thread).answer_probability, abs=1e-3
+        )
+
+    def test_v1_skips_window_check(self, fitted, dataset, tmp_path):
+        path = tmp_path / "predictor.npz"
+        save_predictor(fitted, path)
+        _downgrade_to_v1(path)
+        truncated = dataset.subset(
+            t.thread_id for t in dataset.threads[: len(dataset) - 3]
+        )
+        loaded = load_predictor(path, truncated)  # no fingerprint to check
+        assert loaded.extractor is not None
+
+    def test_unknown_version_rejected(self, fitted, dataset, tmp_path):
+        import json
+
+        import numpy as np
+
+        path = tmp_path / "predictor.npz"
+        save_predictor(fitted, path)
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        meta = json.loads(bytes(arrays.pop("__meta__")).decode("utf-8"))
+        meta["version"] = 99
+        arrays["__meta__"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_predictor(path, dataset)

@@ -128,3 +128,34 @@ class TestFactory:
     def test_unknown_method(self):
         with pytest.raises(ValueError, match="unknown LDA method"):
             fit_lda([], 2, VOCAB_SIZE, method="svd")
+
+
+class TestVariationalStateRoundTrip:
+    def test_transform_identical_after_restore(self):
+        docs, _ = make_block_corpus()
+        model = LdaVariational(2, VOCAB_SIZE, seed=3).fit(docs)
+        meta, lam = model.to_state()
+        restored = LdaVariational.from_state(meta, lam)
+        held_out = docs[:7]
+        np.testing.assert_array_equal(
+            model.transform(held_out), restored.transform(held_out)
+        )
+
+    def test_topic_word_restored(self):
+        docs, _ = make_block_corpus()
+        model = LdaVariational(2, VOCAB_SIZE, seed=3).fit(docs)
+        restored = LdaVariational.from_state(*model.to_state())
+        np.testing.assert_allclose(
+            restored.topic_word_, model.topic_word_, rtol=0, atol=1e-12
+        )
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(RuntimeError):
+            LdaVariational(2, VOCAB_SIZE).to_state()
+
+    def test_shape_mismatch_rejected(self):
+        docs, _ = make_block_corpus()
+        model = LdaVariational(2, VOCAB_SIZE, seed=3).fit(docs)
+        meta, lam = model.to_state()
+        with pytest.raises(ValueError, match="shape"):
+            LdaVariational.from_state(meta, lam[:, :-1])

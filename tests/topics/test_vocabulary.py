@@ -74,3 +74,25 @@ class TestEncode:
         vocab = Vocabulary().fit(DOCS)
         with pytest.raises(KeyError):
             vocab.token_id("unknown")
+
+
+class TestStateRoundTrip:
+    def test_round_trip_preserves_mapping(self):
+        vocab = Vocabulary(min_count=2).fit(DOCS)
+        restored = Vocabulary.from_state(vocab.to_state())
+        assert restored.tokens == vocab.tokens
+        assert restored.min_count == vocab.min_count
+        assert restored.max_size == vocab.max_size
+        for token in vocab.tokens:
+            assert restored.token_id(token) == vocab.token_id(token)
+
+    def test_state_is_json_serializable(self):
+        import json
+
+        vocab = Vocabulary().fit(DOCS)
+        state = json.loads(json.dumps(vocab.to_state()))
+        assert Vocabulary.from_state(state).tokens == vocab.tokens
+
+    def test_duplicate_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary.from_state({"tokens": ["apple", "apple"]})
