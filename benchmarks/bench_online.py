@@ -14,8 +14,9 @@ loop three times:
 
 The per-refit wall-clock of the ``online.refit`` stage is compared
 between the incremental and cold-rebuild runs, the speedup is asserted,
-and the measurement is recorded in ``BENCH_online.json`` at the repo
-root.
+and the measurement — including a per-refit breakdown into feature,
+topic and model-fit stages — is recorded in ``BENCH_online.json`` at
+the repo root.
 """
 
 import json
@@ -38,6 +39,16 @@ ONLINE_KWARGS = dict(
 )
 
 
+# Where each refit's wall-clock goes: feature matrices, topic refit,
+# task-model fits.  Anything outside these (state freeze, bookkeeping)
+# shows up as the remainder against ``online.refit``.
+_REFIT_STAGES = (
+    "pipeline.features",
+    "pipeline.fit_topics",
+    "pipeline.fit_models",
+)
+
+
 def run_loop(config, dataset, **overrides):
     """One replay in a private perf registry; returns per-refit timings."""
     loop = OnlineRecommendationLoop(
@@ -45,7 +56,24 @@ def run_loop(config, dataset, **overrides):
     )
     with perf.use_registry() as registry:
         report = loop.run(dataset)
-    return report, registry.samples("online.refit")
+    stages = {
+        name: [round(t, 6) for t in registry.samples(name)]
+        for name in _REFIT_STAGES
+    }
+    return report, registry.samples("online.refit"), stages
+
+
+def _stage_breakdown(stages):
+    """Steady-state mean per stage (first refit is startup, excluded)."""
+    return {
+        name: {
+            "per_refit_seconds": vals,
+            "steady_mean_seconds": (
+                round(float(np.mean(vals[1:])), 6) if len(vals) > 1 else None
+            ),
+        }
+        for name, vals in stages.items()
+    }
 
 
 def assert_reports_equal(a, b):
@@ -62,13 +90,13 @@ def assert_reports_equal(a, b):
 
 
 def test_online_refit_speedup(benchmark, dataset, config):
-    incremental, inc_times = run_loop(
+    incremental, inc_times, inc_stages = run_loop(
         config, dataset, refit_strategy="incremental"
     )
-    warm, _ = run_loop(
+    warm, _, _ = run_loop(
         config, dataset, refit_strategy="rebuild", warm_start=True
     )
-    cold, cold_times = run_loop(
+    cold, cold_times, cold_stages = run_loop(
         config, dataset, refit_strategy="rebuild", warm_start=False
     )
 
@@ -105,6 +133,8 @@ def test_online_refit_speedup(benchmark, dataset, config):
         "cold_rebuild_refit_seconds": [round(t, 6) for t in cold_times],
         "incremental_steady_mean_seconds": round(inc_steady, 6),
         "cold_rebuild_steady_mean_seconds": round(cold_steady, 6),
+        "incremental_refit_stages": _stage_breakdown(inc_stages),
+        "cold_rebuild_refit_stages": _stage_breakdown(cold_stages),
         "steady_state_speedup": round(speedup, 2),
         "overall_speedup": round(overall_speedup, 2),
         "warm_rebuild_report_identical": True,
@@ -121,6 +151,16 @@ def test_online_refit_speedup(benchmark, dataset, config):
         f"{speedup:.1f}x ({overall_speedup:.1f}x incl. startup) "
         f"-> {RESULT_PATH.name}"
     )
+    for arm, stages in (
+        ("incremental", inc_stages),
+        ("cold rebuild", cold_stages),
+    ):
+        parts = ", ".join(
+            f"{name.split('.')[1]} {np.mean(vals[1:]) * 1e3:.0f} ms"
+            for name, vals in stages.items()
+            if len(vals) > 1
+        )
+        print(f"  steady stages ({arm}): {parts}")
     print(f"  hit@1:  {report.hit_rate_at_1:.3f}")
     print(f"  P@5:    {report.precision_at(5):.3f}  (chance {chance:.3f})")
     print(f"  MRR:    {report.mrr:.3f}")
@@ -129,4 +169,9 @@ def test_online_refit_speedup(benchmark, dataset, config):
     assert report.n_routed > 0
     # Strictly-causal ranking must beat per-slot chance by 2x.
     assert report.precision_at(5) > 2.0 * chance
-    assert speedup >= 3.0
+    # The vectorized training engine cut cold-rebuild refits roughly 3x
+    # (the batched warm-started LDA E-step is most of a rebuild), so the
+    # incremental engine's *relative* edge shrank from ~4x to ~2x even
+    # though every refit got faster in absolute terms.  The stage
+    # breakdown above records where the remaining time goes.
+    assert speedup >= 1.8

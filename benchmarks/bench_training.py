@@ -1,0 +1,137 @@
+"""Training engine: fused vectorized fits vs. the reference loops.
+
+Fits the full predictor twice over the benchmark forum:
+
+* ``reference`` — the pre-engine behaviour: per-layer optimizer steps
+  with allocating minibatch slices, serial task-model fits, and the
+  legacy LDA E-step with a corpus-wide convergence check;
+* ``fused`` — flat-parameter buffered backprop with in-place Adam,
+  the three task models fitted in parallel worker processes, and the
+  active-set batched LDA E-step with per-document convergence.
+
+Compared on post-featurization training time (topic fit + model fits —
+featurization is shared and benchmarked separately), with the per-stage
+breakdown and a Table-1 metric-parity check recorded in
+``BENCH_training.json`` at the repo root.
+"""
+
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+
+from conftest import FORUM_CONFIG, N_FOLDS, N_REPEATS, PREDICTOR_CONFIG
+
+from repro import perf
+from repro.core import ForumPredictor, run_table1
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_training.json"
+
+_STAGES = (
+    "pipeline.fit_topics",
+    "pipeline.features",
+    "pipeline.fit_models",
+    "pipeline.fit_answer",
+    "pipeline.fit_vote",
+    "pipeline.fit_timing",
+)
+
+
+def run_fit(dataset, engine: str, n_jobs: int):
+    """One full predictor fit in a private perf registry."""
+    config = replace(PREDICTOR_CONFIG, training_engine=engine)
+    predictor = ForumPredictor(config)
+    with perf.use_registry() as registry:
+        predictor.fit(dataset, n_jobs=n_jobs)
+    stages = {
+        name: round(registry.stage(name).total_seconds, 6)
+        for name in _STAGES
+    }
+    # Training cost excludes featurization: the batched feature engine
+    # is shared by both arms and has its own benchmark.
+    stages["train_seconds"] = round(
+        stages["pipeline.fit_topics"] + stages["pipeline.fit_models"], 6
+    )
+    return predictor, stages
+
+
+# The parallel task-model dispatch is determinism-tested in
+# tests/core/test_parallel_fits.py; on a single-core benchmark host the
+# worker pool can only add fork overhead, so the fused arm is timed with
+# serial dispatch and its speedup comes from the fused backprop and the
+# batched E-step.  Multi-core hosts can override via FUSED_N_JOBS.
+FUSED_N_JOBS = int(os.environ.get("FUSED_N_JOBS", "1" if os.cpu_count() == 1 else "3"))
+
+
+def test_training_engine_speedup(benchmark, dataset, extractor, pairs):
+    # Interleaved best-of-2 per arm: alternating ref/fused runs means a
+    # burst of background load on the shared host inflates both arms
+    # rather than silently penalising whichever one it landed on.
+    ref_runs, fused_runs = [], []
+    for _ in range(2):
+        ref_runs.append(run_fit(dataset, "reference", n_jobs=1))
+        fused_runs.append(run_fit(dataset, "fused", n_jobs=FUSED_N_JOBS))
+    _, ref = min(ref_runs, key=lambda r: r[1]["train_seconds"])
+    fused_predictor, fused = min(
+        fused_runs, key=lambda r: r[1]["train_seconds"]
+    )
+    benchmark.pedantic(
+        lambda: run_fit(dataset, "fused", n_jobs=FUSED_N_JOBS),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = ref["train_seconds"] / fused["train_seconds"]
+
+    # Metric parity: the engine is an optimisation, not a model change.
+    # The fused minibatch path is arithmetically identical to the
+    # reference loops, so Table-1 metrics must agree well within the CV
+    # fold spread (the LDA engines differ only in stopping decisions).
+    table_kwargs = dict(
+        n_folds=N_FOLDS,
+        n_repeats=N_REPEATS,
+        extractor=extractor,
+        pairs=pairs,
+    )
+    ref_table = run_table1(
+        dataset,
+        config=replace(PREDICTOR_CONFIG, training_engine="reference"),
+        **table_kwargs,
+    )
+    fused_table = run_table1(
+        dataset,
+        config=replace(PREDICTOR_CONFIG, training_engine="fused"),
+        **table_kwargs,
+    )
+    parity = {}
+    for task in ("answer", "votes", "timing"):
+        r = getattr(ref_table, task).model
+        f = getattr(fused_table, task).model
+        parity[task] = {
+            "reference_mean": round(r.mean, 6),
+            "fused_mean": round(f.mean, 6),
+            "reference_std": round(r.std, 6),
+        }
+        assert abs(f.mean - r.mean) <= max(r.std, 1e-9)
+
+    record = {
+        "forum": {
+            "n_users": FORUM_CONFIG.n_users,
+            "n_questions": FORUM_CONFIG.n_questions,
+        },
+        "reference_stages": ref,
+        "fused_stages": fused,
+        "fused_n_jobs": FUSED_N_JOBS,
+        "train_speedup": round(speedup, 2),
+        "table1_parity": parity,
+    }
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    print("\nTraining engine")
+    for arm, stages in (("reference", ref), ("fused", fused)):
+        print(
+            f"  {arm:9s} train {stages['train_seconds']:.2f}s "
+            f"(topics {stages['pipeline.fit_topics']:.2f}s, "
+            f"models {stages['pipeline.fit_models']:.2f}s)"
+        )
+    print(f"  speedup: {speedup:.1f}x -> {RESULT_PATH.name}")
+    assert fused_predictor.vote_model is not None
+    assert speedup >= 3.0

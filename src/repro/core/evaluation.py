@@ -17,9 +17,7 @@ serial runs produce identical numbers.
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -32,6 +30,7 @@ from ..ml.metrics import auc_score, rmse
 from ..ml.scaler import StandardScaler
 from .answer_model import AnswerModel
 from .features import FeatureExtractor
+from .parallel import parallel_map, resolve_n_jobs
 from .pipeline import PredictorConfig
 from .timing_model import TimingModel
 from .topic_context import TopicModelContext
@@ -247,29 +246,16 @@ class Table1Result:
 # --------------------------------------------------------------------------
 
 
-def _resolve_n_jobs(n_jobs: int | None) -> int:
-    """Explicit ``n_jobs`` wins; otherwise ``REPRO_N_JOBS``; otherwise 1."""
-    if n_jobs is None:
-        raw = os.environ.get("REPRO_N_JOBS", "")
-        try:
-            n_jobs = int(raw) if raw else 1
-        except ValueError:
-            n_jobs = 1
-    return max(1, n_jobs)
+_resolve_n_jobs = resolve_n_jobs
 
 
 def _parallel_map(fn, tasks: list, n_jobs: int | None) -> list:
-    """``[fn(t) for t in tasks]``, optionally across worker processes.
+    """:func:`repro.core.parallel.parallel_map` with perf merging on.
 
-    Order is preserved, so serial and parallel runs aggregate results
-    identically; each task must carry all of its own inputs (tasks are
-    pickled to the workers).
+    Fold fits record pipeline stage timings; merging the worker
+    registries keeps ``perf.report()`` identical to a serial run.
     """
-    n_jobs = _resolve_n_jobs(n_jobs)
-    if n_jobs <= 1 or len(tasks) <= 1:
-        return [fn(t) for t in tasks]
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(tasks))) as pool:
-        return list(pool.map(fn, tasks))
+    return parallel_map(fn, tasks, n_jobs, merge_perf=True)
 
 
 # --------------------------------------------------------------------------
@@ -325,6 +311,7 @@ def _evaluate_votes_fold(
         hidden=config.vote_hidden,
         epochs=config.vote_epochs,
         seed=config.seed,
+        fused=config.training_engine == "fused",
     )
     model.fit(pairs.x[train_pos], pairs.votes[train_pos])
     model_rmse = rmse(pairs.votes[test_pos], model.predict(pairs.x[test_pos]))
@@ -354,6 +341,7 @@ def _evaluate_timing_fold(
         omega=config.omega,
         epochs=config.timing_epochs,
         seed=config.seed,
+        fused=config.training_engine == "fused",
     )
     model.fit(
         pairs.x[train],
@@ -495,6 +483,7 @@ def _cv_fold_task(
                 hidden=config.vote_hidden,
                 epochs=config.vote_epochs,
                 seed=config.seed,
+                fused=config.training_engine == "fused",
             )
             vote.fit(pairs.x[train_pos], pairs.votes[train_pos])
             out["votes"] = rmse(
@@ -509,6 +498,7 @@ def _cv_fold_task(
                 omega=config.omega,
                 epochs=config.timing_epochs,
                 seed=config.seed,
+                fused=config.training_engine == "fused",
             )
             timing.fit(
                 pairs.x[train],

@@ -73,6 +73,9 @@ class OnlineConfig:
     top_k: int = 5
     refit_strategy: str = "incremental"  # or "rebuild"
     warm_start: bool = True
+    # Worker processes for the three per-task model fits inside each
+    # refit; None defers to REPRO_N_JOBS (default serial).
+    n_jobs: int | None = None
 
     def __post_init__(self):
         if self.refit_interval_hours <= 0 or self.window_hours <= 0:
@@ -166,7 +169,9 @@ class OnlineRecommendationLoop:
             if not self._feasible(len(window), window.num_answers):
                 return False
             with perf.timer("online.refit"):
-                predictor.fit(window, warm_start=cfg.warm_start)
+                predictor.fit(
+                    window, warm_start=cfg.warm_start, n_jobs=cfg.n_jobs
+                )
             candidates = window.answerers
         elif self._state is None:
             # First feasible refit: fit topics once, then bootstrap the
@@ -177,14 +182,14 @@ class OnlineRecommendationLoop:
             with perf.timer("online.refit"):
                 predictor.fit_topics(window)
                 self._state = predictor.build_state(window)
-                predictor.refit_from_state(self._state)
+                predictor.refit_from_state(self._state, n_jobs=cfg.n_jobs)
             candidates = self._state.answerers
         else:
             self._state.evict(start)
             if not self._feasible(len(self._state), self._state.num_answers):
                 return False
             with perf.timer("online.refit"):
-                predictor.refit_from_state(self._state)
+                predictor.refit_from_state(self._state, n_jobs=cfg.n_jobs)
             candidates = self._state.answerers
         self._router = QuestionRouter(
             predictor,

@@ -118,6 +118,16 @@ def save_predictor(predictor: ForumPredictor, path: str | Path) -> None:
         "answer_l2": predictor.answer_model.classifier.l2,
     }
     arrays["lda_lambda"] = lda_lambda
+    # The per-post topic cache is model state, not derived state: the
+    # training posterior comes from warm-started E-steps whose history a
+    # cold ``transform`` at load time cannot replay, so the distributions
+    # are stored rather than re-inferred.
+    if topics._post_topics:
+        post_ids = sorted(topics._post_topics)
+        arrays["post_topic_ids"] = np.asarray(post_ids, dtype=np.int64)
+        arrays["post_topic_dists"] = np.stack(
+            [topics._post_topics[pid] for pid in post_ids]
+        )
     arrays["answer_coef"] = predictor.answer_model.classifier.coef_
     _scaler_arrays("answer_scaler", predictor.answer_model.scaler, meta, arrays)
     _scaler_arrays("vote_scaler", predictor.vote_model.scaler, meta, arrays)
@@ -167,7 +177,15 @@ def _topics_from_meta(meta: dict, arrays) -> TopicModelContext:
         lda_meta = dict(meta["lda"])
         lda_meta.setdefault("vocab_size", len(vocabulary))
         lda = LdaVariational.from_state(lda_meta, arrays["lda_lambda"])
-    return TopicModelContext(vocabulary, lda, post_topics={})
+    post_topics: dict[int, np.ndarray] = {}
+    if "post_topic_ids" in arrays:
+        post_topics = {
+            int(pid): dist
+            for pid, dist in zip(
+                arrays["post_topic_ids"], arrays["post_topic_dists"]
+            )
+        }
+    return TopicModelContext(vocabulary, lda, post_topics=post_topics)
 
 
 def load_predictor(

@@ -29,12 +29,25 @@ from ..forum.dataset import ForumDataset
 from ..forum.models import Thread
 from .answer_model import AnswerModel
 from .features import FeatureExtractor
+from .parallel import parallel_map
 from .state import ForumState
 from .timing_model import TimingModel
 from .topic_context import TopicModelContext
 from .vote_model import VoteModel
 
 __all__ = ["PredictorConfig", "Prediction", "ForumPredictor"]
+
+
+def _fit_model_task(task):
+    """Fit one task model; module-level so it pickles to workers.
+
+    The model is fitted in place and returned — in a worker process the
+    caller receives a fitted pickle round-trip of the model it sent.
+    """
+    name, model, args, kwargs = task
+    with perf.timer(f"pipeline.fit_{name}"):
+        model.fit(*args, **kwargs)
+    return model
 
 
 @dataclass(frozen=True)
@@ -55,6 +68,10 @@ class PredictorConfig:
     negative_ratio: float = 1.0  # negatives per positive for task (i)
     betweenness_sample_size: int | None = None
     seed: int = 0
+    # "fused" trains through the vectorized engine (buffered backprop,
+    # in-place optimizer steps, active-set LDA E-step); "reference"
+    # keeps the original per-layer/per-corpus loops for benchmarking.
+    training_engine: str = "fused"
 
     def __post_init__(self):
         if self.n_topics < 1:
@@ -63,6 +80,10 @@ class PredictorConfig:
             raise ValueError("negative_ratio must be positive")
         if self.warm_epochs < 1:
             raise ValueError("warm_epochs must be >= 1")
+        if self.training_engine not in ("fused", "reference"):
+            raise ValueError(
+                "training_engine must be 'fused' or 'reference'"
+            )
 
 
 @dataclass(frozen=True)
@@ -91,6 +112,13 @@ class ForumPredictor:
     def fit_topics(self, window: ForumDataset) -> TopicModelContext:
         """Stage 1: fit the topic model over the feature window."""
         cfg = self.config
+        lda_kwargs = {}
+        if cfg.lda_method == "variational":
+            # The reference engine keeps the legacy corpus-wide E-step
+            # convergence check; fused uses the active-set batch.
+            lda_kwargs["e_step"] = (
+                "batched" if cfg.training_engine == "fused" else "global"
+            )
         with perf.timer("pipeline.fit_topics"):
             self.topics = TopicModelContext.fit(
                 window,
@@ -98,6 +126,7 @@ class ForumPredictor:
                 method=cfg.lda_method,
                 min_count=cfg.lda_min_count,
                 seed=cfg.seed,
+                **lda_kwargs,
             )
         return self.topics
 
@@ -112,7 +141,11 @@ class ForumPredictor:
         return ForumState.from_dataset(window, self.topics)
 
     def fit_models(
-        self, dataset: ForumDataset, *, warm_start: bool = False
+        self,
+        dataset: ForumDataset,
+        *,
+        warm_start: bool = False,
+        n_jobs: int | None = None,
     ) -> "ForumPredictor":
         """Stage 3: train the three task models over ``dataset``.
 
@@ -120,6 +153,11 @@ class ForumPredictor:
         vote/timing networks continue training from their current
         weights; the answer model's logistic regression is convex and is
         always refit from scratch.
+
+        The three fits are independent (separate seeded RNGs, no shared
+        state), so with ``n_jobs > 1`` (or ``REPRO_N_JOBS``) they run in
+        worker processes — each fit is deterministic and pickling
+        preserves float bits, so results are identical to a serial run.
         """
         cfg = self.config
         if self.extractor is None:
@@ -138,46 +176,56 @@ class ForumPredictor:
         # One batched featurization for positives and negatives; the
         # answer and timing models share the stacked matrix.
         all_pairs = pos_pairs + neg_pairs
-        x_all = self.extractor.feature_matrix(all_pairs)
+        with perf.timer("pipeline.features"):
+            x_all = self.extractor.feature_matrix(all_pairs)
         x_pos = x_all[: len(pos_pairs)]
         is_event = np.r_[np.ones(len(pos_pairs)), np.zeros(len(neg_pairs))]
 
+        fused = cfg.training_engine == "fused"
+        # Warm networks resume from trained weights, so a short
+        # fine-tuning budget replaces the full epoch schedule.
+        vote_warm = warm_start and self.vote_model is not None
+        if not vote_warm:
+            self.vote_model = VoteModel(
+                x_pos.shape[1],
+                hidden=cfg.vote_hidden,
+                epochs=cfg.vote_epochs,
+                seed=cfg.seed,
+                fused=fused,
+            )
+        timing_warm = warm_start and self.timing_model is not None
+        if not timing_warm:
+            self.timing_model = TimingModel(
+                x_pos.shape[1],
+                excitation_hidden=cfg.excitation_hidden,
+                decay=cfg.decay,
+                omega=cfg.omega,
+                epochs=cfg.timing_epochs,
+                seed=cfg.seed,
+                fused=fused,
+            )
+        times_all = np.r_[times, np.zeros(len(neg_pairs))]
+        horizons_all = self._horizons([t for _, t in all_pairs])
+        tasks = [
+            ("answer", AnswerModel(l2=cfg.answer_l2), (x_all, is_event), {}),
+            (
+                "vote",
+                self.vote_model,
+                (x_pos, votes),
+                {"epochs": cfg.warm_epochs if vote_warm else None},
+            ),
+            (
+                "timing",
+                self.timing_model,
+                (x_all, times_all, horizons_all, is_event),
+                {"epochs": cfg.warm_epochs if timing_warm else None},
+            ),
+        ]
         with perf.timer("pipeline.fit_models"):
-            self.answer_model = AnswerModel(l2=cfg.answer_l2).fit(
-                x_all, is_event
+            fitted = parallel_map(
+                _fit_model_task, tasks, n_jobs, merge_perf=True
             )
-            # Warm networks resume from trained weights, so a short
-            # fine-tuning budget replaces the full epoch schedule.
-            vote_warm = warm_start and self.vote_model is not None
-            if not vote_warm:
-                self.vote_model = VoteModel(
-                    x_pos.shape[1],
-                    hidden=cfg.vote_hidden,
-                    epochs=cfg.vote_epochs,
-                    seed=cfg.seed,
-                )
-            self.vote_model.fit(
-                x_pos, votes, epochs=cfg.warm_epochs if vote_warm else None
-            )
-            timing_warm = warm_start and self.timing_model is not None
-            if not timing_warm:
-                self.timing_model = TimingModel(
-                    x_pos.shape[1],
-                    excitation_hidden=cfg.excitation_hidden,
-                    decay=cfg.decay,
-                    omega=cfg.omega,
-                    epochs=cfg.timing_epochs,
-                    seed=cfg.seed,
-                )
-            times_all = np.r_[times, np.zeros(len(neg_pairs))]
-            horizons_all = self._horizons([t for _, t in all_pairs])
-            self.timing_model.fit(
-                x_all,
-                times_all,
-                horizons_all,
-                is_event,
-                epochs=cfg.warm_epochs if timing_warm else None,
-            )
+        self.answer_model, self.vote_model, self.timing_model = fitted
         return self
 
     def fit(
@@ -186,6 +234,7 @@ class ForumPredictor:
         *,
         feature_window: ForumDataset | None = None,
         warm_start: bool = False,
+        n_jobs: int | None = None,
     ) -> "ForumPredictor":
         """Train all three models.
 
@@ -204,7 +253,7 @@ class ForumPredictor:
             self.fit_topics(window)
         state = ForumState.from_dataset(window, self.topics)
         return self.refit_from_state(
-            state, dataset=dataset, warm_start=warm_start
+            state, dataset=dataset, warm_start=warm_start, n_jobs=n_jobs
         )
 
     def refit_from_state(
@@ -213,6 +262,7 @@ class ForumPredictor:
         *,
         dataset: ForumDataset | None = None,
         warm_start: bool = True,
+        n_jobs: int | None = None,
     ) -> "ForumPredictor":
         """Retrain against a state's current window without rebuilding it.
 
@@ -233,7 +283,9 @@ class ForumPredictor:
         self._horizon_reference = max(
             dataset.duration_hours, state.duration_hours
         )
-        return self.fit_models(dataset, warm_start=warm_start)
+        return self.fit_models(
+            dataset, warm_start=warm_start, n_jobs=n_jobs
+        )
 
     def _horizons(self, threads: list[Thread]) -> np.ndarray:
         """Observation window T - t(p_q0) per thread, floored at one hour."""

@@ -45,6 +45,7 @@ class TimingModel:
         validation_fraction: float = 0.15,
         patience: int = 25,
         seed: int = 0,
+        fused: bool = True,
     ):
         if predictor not in ("conditional", "expected"):
             raise ValueError("predictor must be 'conditional' or 'expected'")
@@ -58,6 +59,8 @@ class TimingModel:
             l2=l2,
             seed=seed,
         )
+        self.optimizer = Adam(learning_rate=learning_rate)
+        self.fused = fused
         self.predictor = predictor
         self.learning_rate = learning_rate
         self.epochs = epochs
@@ -94,12 +97,18 @@ class TimingModel:
             float(np.percentile(event_times, 99.0)) if event_times.size else 1.0
         )
         z = self.scaler.fit_transform(np.asarray(x, dtype=float))
+        # Adam moments always restart: a warm refit fine-tunes from the
+        # current *weights* but never from stale optimizer state, so the
+        # outcome depends only on (weights, data), which the parallel
+        # fit path and the warm-refit tests rely on.
+        self.optimizer.reset()
         result = self.process.fit(
             z,
             np.asarray(times, dtype=float),
             np.asarray(horizons, dtype=float),
             np.asarray(is_event, dtype=float),
-            optimizer=Adam(learning_rate=self.learning_rate),
+            optimizer=self.optimizer,
+            fused=self.fused,
             epochs=self.epochs if epochs is None else epochs,
             batch_size=self.batch_size,
             validation_fraction=self.validation_fraction,

@@ -32,6 +32,7 @@ class VoteModel:
         validation_fraction: float = 0.15,
         patience: int = 25,
         seed: int = 0,
+        fused: bool = True,
     ):
         if n_features < 1:
             raise ValueError("n_features must be >= 1")
@@ -43,6 +44,8 @@ class VoteModel:
             seed=seed,
             l2=l2,
         )
+        self.optimizer = Adam(learning_rate=learning_rate)
+        self.fused = fused
         self.learning_rate = learning_rate
         self.epochs = epochs
         self.batch_size = batch_size
@@ -63,11 +66,17 @@ class VoteModel:
         already-trained network instead of re-running the full schedule.
         """
         z = self.scaler.fit_transform(np.asarray(x, dtype=float))
+        # Adam moments always restart: a warm refit fine-tunes from the
+        # current *weights* but never from stale optimizer state, so the
+        # outcome depends only on (weights, data), which the parallel
+        # fit path and the warm-refit tests rely on.
+        self.optimizer.reset()
         result = self.network.fit(
             z,
             np.asarray(votes, dtype=float),
             loss="mse",
-            optimizer=Adam(learning_rate=self.learning_rate),
+            optimizer=self.optimizer,
+            fused=self.fused,
             epochs=self.epochs if epochs is None else epochs,
             batch_size=self.batch_size,
             validation_fraction=self.validation_fraction,

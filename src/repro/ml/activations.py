@@ -5,6 +5,14 @@ Each activation is a stateless object exposing ``forward(z)`` and
 given to ``forward`` and ``grad_out`` is the gradient of the loss with
 respect to the activation output.  ``backward`` returns the gradient with
 respect to ``z``.
+
+Both passes accept an optional ``out`` array so the training engine can
+reuse preallocated buffers instead of allocating per minibatch, and
+``backward`` accepts ``cached_output`` — the activation output computed by
+the matching ``forward`` — which lets tanh/sigmoid derivatives reuse the
+forward value instead of recomputing the transcendental.  ``out`` may
+alias ``grad_out`` (the fused path passes ``out=grad_out``); it must not
+alias ``z``.
 """
 
 from __future__ import annotations
@@ -27,10 +35,16 @@ class Activation:
 
     name = "base"
 
-    def forward(self, z: np.ndarray) -> np.ndarray:
+    def forward(self, z: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         raise NotImplementedError
 
-    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+    def backward(
+        self,
+        z: np.ndarray,
+        grad_out: np.ndarray,
+        out: np.ndarray | None = None,
+        cached_output: np.ndarray | None = None,
+    ) -> np.ndarray:
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -42,11 +56,23 @@ class Identity(Activation):
 
     name = "identity"
 
-    def forward(self, z: np.ndarray) -> np.ndarray:
-        return z
+    def forward(self, z: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        if out is None or out is z:
+            return z
+        out[...] = z
+        return out
 
-    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
-        return grad_out
+    def backward(
+        self,
+        z: np.ndarray,
+        grad_out: np.ndarray,
+        out: np.ndarray | None = None,
+        cached_output: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if out is None or out is grad_out:
+            return grad_out
+        out[...] = grad_out
+        return out
 
 
 class ReLU(Activation):
@@ -54,11 +80,17 @@ class ReLU(Activation):
 
     name = "relu"
 
-    def forward(self, z: np.ndarray) -> np.ndarray:
-        return np.maximum(z, 0.0)
+    def forward(self, z: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        return np.maximum(z, 0.0, out=out)
 
-    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
-        return grad_out * (z > 0.0)
+    def backward(
+        self,
+        z: np.ndarray,
+        grad_out: np.ndarray,
+        out: np.ndarray | None = None,
+        cached_output: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return np.multiply(grad_out, z > 0.0, out=out)
 
 
 class Tanh(Activation):
@@ -66,12 +98,18 @@ class Tanh(Activation):
 
     name = "tanh"
 
-    def forward(self, z: np.ndarray) -> np.ndarray:
-        return np.tanh(z)
+    def forward(self, z: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        return np.tanh(z, out=out)
 
-    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
-        t = np.tanh(z)
-        return grad_out * (1.0 - t * t)
+    def backward(
+        self,
+        z: np.ndarray,
+        grad_out: np.ndarray,
+        out: np.ndarray | None = None,
+        cached_output: np.ndarray | None = None,
+    ) -> np.ndarray:
+        t = cached_output if cached_output is not None else np.tanh(z)
+        return np.multiply(grad_out, 1.0 - t * t, out=out)
 
 
 class Sigmoid(Activation):
@@ -79,12 +117,18 @@ class Sigmoid(Activation):
 
     name = "sigmoid"
 
-    def forward(self, z: np.ndarray) -> np.ndarray:
-        return sigmoid(z)
+    def forward(self, z: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        return sigmoid(z, out=out)
 
-    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
-        s = sigmoid(z)
-        return grad_out * s * (1.0 - s)
+    def backward(
+        self,
+        z: np.ndarray,
+        grad_out: np.ndarray,
+        out: np.ndarray | None = None,
+        cached_output: np.ndarray | None = None,
+    ) -> np.ndarray:
+        s = cached_output if cached_output is not None else sigmoid(z)
+        return np.multiply(grad_out, s * (1.0 - s), out=out)
 
 
 class Softplus(Activation):
@@ -95,28 +139,54 @@ class Softplus(Activation):
 
     name = "softplus"
 
-    def forward(self, z: np.ndarray) -> np.ndarray:
-        return softplus(z)
+    def forward(self, z: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        return softplus(z, out=out)
 
-    def backward(self, z: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
-        return grad_out * sigmoid(z)
+    def backward(
+        self,
+        z: np.ndarray,
+        grad_out: np.ndarray,
+        out: np.ndarray | None = None,
+        cached_output: np.ndarray | None = None,
+    ) -> np.ndarray:
+        # softplus' = sigmoid(z); the forward output does not give the
+        # sigmoid any cheaper, so it is recomputed.
+        return np.multiply(grad_out, sigmoid(z), out=out)
 
 
-def sigmoid(z: np.ndarray) -> np.ndarray:
+def _as_float(z: np.ndarray) -> np.ndarray:
+    """View as-is for float inputs (any precision), cast otherwise."""
+    z = np.asarray(z)
+    if not np.issubdtype(z.dtype, np.floating):
+        z = z.astype(float)
+    return z
+
+
+def sigmoid(z: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Numerically stable logistic sigmoid."""
-    z = np.asarray(z, dtype=float)
-    out = np.empty_like(z)
+    z = _as_float(z)
+    if out is None:
+        out = np.empty_like(z)
     pos = z >= 0
+    neg_vals = z[~pos]  # gather before out (which may alias z) is written
     out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-    ez = np.exp(z[~pos])
+    ez = np.exp(neg_vals)
     out[~pos] = ez / (1.0 + ez)
     return out
 
 
-def softplus(z: np.ndarray) -> np.ndarray:
+def softplus(z: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Numerically stable ``log(1 + exp(z))``."""
-    z = np.asarray(z, dtype=float)
-    return np.maximum(z, 0.0) + np.log1p(np.exp(-np.abs(z)))
+    z = _as_float(z)
+    if out is None:
+        out = np.empty_like(z)
+    mx = np.maximum(z, 0.0)  # before out (which may alias z) is written
+    np.abs(z, out=out)
+    np.negative(out, out=out)
+    np.exp(out, out=out)
+    np.log1p(out, out=out)
+    out += mx
+    return out
 
 
 _REGISTRY: dict[str, type[Activation]] = {

@@ -60,29 +60,45 @@ class LogisticRegression:
         if not np.all(np.isin(y, (0.0, 1.0))):
             raise ValueError("y must be binary 0/1")
         n, d = x.shape
-        beta = np.zeros(d)
-        intercept = np.zeros(1)
+        # Coefficients and intercept share one flat vector so the fused
+        # Adam step updates a single array; buffers below are reused
+        # across all full-batch iterations (nothing allocates per iter).
+        wb = np.zeros(d + 1)
+        beta = wb[:d]
+        grad = np.empty(d + 1)
+        z = np.empty(n)
+        p = np.empty(n)
+        r = np.empty(n)
+        t = np.empty(n)
         opt = Adam(learning_rate=self.learning_rate)
         self.loss_history_ = []
         prev_loss = np.inf
         for _ in range(self.max_iter):
-            z = x @ beta + intercept[0]
-            p = sigmoid(z)
+            np.matmul(x, beta, out=z)
+            z += wb[d]
+            sigmoid(z, out=p)
             # Mean NLL with a stable formulation log(1+e^z) - y z.
-            nll = float(
-                np.mean(np.maximum(z, 0) + np.log1p(np.exp(-np.abs(z))) - y * z)
-            )
+            np.abs(z, out=t)
+            np.negative(t, out=t)
+            np.exp(t, out=t)
+            np.log1p(t, out=t)
+            t += np.maximum(z, 0.0)
+            np.multiply(y, z, out=r)
+            t -= r
+            nll = float(np.mean(t))
             loss = nll + 0.5 * self.l2 * float(beta @ beta) / n
             self.loss_history_.append(loss)
-            residual = (p - y) / n
-            grad_beta = x.T @ residual + self.l2 * beta / n
-            grad_intercept = np.array([residual.sum()])
-            opt.step([beta, intercept], [grad_beta, grad_intercept])
+            np.subtract(p, y, out=r)
+            r /= n
+            np.matmul(x.T, r, out=grad[:d])
+            grad[:d] += (self.l2 / n) * beta
+            grad[d] = r.sum()
+            opt.step([wb], [grad])
             if abs(prev_loss - loss) < self.tol:
                 break
             prev_loss = loss
-        self.coef_ = beta
-        self.intercept_ = float(intercept[0])
+        self.coef_ = wb[:d].copy()
+        self.intercept_ = float(wb[d])
         return self
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:

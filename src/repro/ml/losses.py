@@ -4,6 +4,10 @@ Each loss exposes ``value(pred, target)`` returning a scalar mean loss and
 ``gradient(pred, target)`` returning ``dLoss/dpred`` with the same shape as
 ``pred`` (already divided by the batch size, so optimizers see the gradient
 of the *mean* loss).
+
+Losses preserve the prediction dtype: float32 predictions produce float32
+gradients, so a network trained in single precision never silently
+upcasts its backward pass.
 """
 
 from __future__ import annotations
@@ -13,6 +17,15 @@ import numpy as np
 __all__ = ["Loss", "MeanSquaredError", "BinaryCrossEntropy", "PoissonNLL", "get_loss"]
 
 _EPS = 1e-12
+
+
+def _aligned(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(pred, target) as floating arrays sharing the prediction dtype."""
+    pred = np.asarray(pred)
+    if not np.issubdtype(pred.dtype, np.floating):
+        pred = pred.astype(float)
+    target = np.asarray(target, dtype=pred.dtype)
+    return pred, target
 
 
 class Loss:
@@ -33,13 +46,15 @@ class MeanSquaredError(Loss):
     name = "mse"
 
     def value(self, pred: np.ndarray, target: np.ndarray) -> float:
-        diff = np.asarray(pred, dtype=float) - np.asarray(target, dtype=float)
+        pred, target = _aligned(pred, target)
+        diff = pred - target
         return float(np.mean(diff * diff))
 
     def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
-        pred = np.asarray(pred, dtype=float)
-        target = np.asarray(target, dtype=float)
-        return 2.0 * (pred - target) / pred.size
+        pred, target = _aligned(pred, target)
+        out = pred - target
+        out *= 2.0 / pred.size
+        return out
 
 
 class BinaryCrossEntropy(Loss):
@@ -48,13 +63,13 @@ class BinaryCrossEntropy(Loss):
     name = "bce"
 
     def value(self, pred: np.ndarray, target: np.ndarray) -> float:
-        p = np.clip(np.asarray(pred, dtype=float), _EPS, 1.0 - _EPS)
-        t = np.asarray(target, dtype=float)
+        pred, t = _aligned(pred, target)
+        p = np.clip(pred, _EPS, 1.0 - _EPS)
         return float(-np.mean(t * np.log(p) + (1.0 - t) * np.log(1.0 - p)))
 
     def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
-        p = np.clip(np.asarray(pred, dtype=float), _EPS, 1.0 - _EPS)
-        t = np.asarray(target, dtype=float)
+        pred, t = _aligned(pred, target)
+        p = np.clip(pred, _EPS, 1.0 - _EPS)
         return (p - t) / (p * (1.0 - p)) / p.size
 
 
@@ -68,13 +83,13 @@ class PoissonNLL(Loss):
     name = "poisson_nll"
 
     def value(self, pred: np.ndarray, target: np.ndarray) -> float:
-        lam = np.clip(np.asarray(pred, dtype=float), _EPS, None)
-        t = np.asarray(target, dtype=float)
+        pred, t = _aligned(pred, target)
+        lam = np.clip(pred, _EPS, None)
         return float(np.mean(lam - t * np.log(lam)))
 
     def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
-        lam = np.clip(np.asarray(pred, dtype=float), _EPS, None)
-        t = np.asarray(target, dtype=float)
+        pred, t = _aligned(pred, target)
+        lam = np.clip(pred, _EPS, None)
         return (1.0 - t / lam) / lam.size
 
 

@@ -4,6 +4,12 @@ An optimizer is constructed once and then repeatedly fed matching lists of
 parameters and gradients via ``step(params, grads)``; parameters are updated
 in place.  State (momenta, Adam moments) is keyed by position in the list, so
 the same parameter list must be passed on every step.
+
+``step`` is fused: updates run through preallocated per-parameter scratch
+buffers with in-place ufuncs, so the hot training loop allocates nothing
+per step.  Call :meth:`Optimizer.reset` to drop accumulated state when
+reusing one optimizer across independent fits (the warm-refit path does
+this explicitly).
 """
 
 from __future__ import annotations
@@ -34,23 +40,29 @@ class SGD(Optimizer):
         self.learning_rate = learning_rate
         self.momentum = momentum
         self._velocity: list[np.ndarray] | None = None
+        self._scratch: list[np.ndarray] | None = None
 
     def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
         if len(params) != len(grads):
             raise ValueError("params and grads length mismatch")
+        if self._scratch is None:
+            self._scratch = [np.empty_like(p) for p in params]
         if self.momentum == 0.0:
-            for p, g in zip(params, grads):
-                p -= self.learning_rate * g
+            for s, p, g in zip(self._scratch, params, grads):
+                np.multiply(g, self.learning_rate, out=s)
+                p -= s
             return
         if self._velocity is None:
             self._velocity = [np.zeros_like(p) for p in params]
-        for v, p, g in zip(self._velocity, params, grads):
+        for v, s, p, g in zip(self._velocity, self._scratch, params, grads):
             v *= self.momentum
-            v -= self.learning_rate * g
+            np.multiply(g, self.learning_rate, out=s)
+            v -= s
             p += v
 
     def reset(self) -> None:
         self._velocity = None
+        self._scratch = None
 
 
 class Adam(Optimizer):
@@ -77,6 +89,7 @@ class Adam(Optimizer):
         self.epsilon = epsilon
         self._m: list[np.ndarray] | None = None
         self._v: list[np.ndarray] | None = None
+        self._scratch: list[np.ndarray] | None = None
         self._t = 0
 
     def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
@@ -85,20 +98,36 @@ class Adam(Optimizer):
         if self._m is None:
             self._m = [np.zeros_like(p) for p in params]
             self._v = [np.zeros_like(p) for p in params]
+            self._scratch = [np.empty_like(p) for p in params]
+        if len(self._m) != len(params):
+            raise ValueError(
+                "parameter list changed length since the last step; "
+                "call reset() before reusing the optimizer"
+            )
         self._t += 1
         b1, b2 = self.beta1, self.beta2
         # Fold both bias corrections into a single step size.
         alpha = self.learning_rate * np.sqrt(1.0 - b2**self._t) / (1.0 - b1**self._t)
-        for m, v, p, g in zip(self._m, self._v, params, grads):
+        for m, v, s, p, g in zip(self._m, self._v, self._scratch, params, grads):
+            # m = b1 m + (1-b1) g ; v = b2 v + (1-b2) g^2, all in place
             m *= b1
-            m += (1.0 - b1) * g
+            np.multiply(g, 1.0 - b1, out=s)
+            m += s
             v *= b2
-            v += (1.0 - b2) * g * g
-            p -= alpha * m / (np.sqrt(v) + self.epsilon)
+            np.multiply(g, g, out=s)
+            s *= 1.0 - b2
+            v += s
+            # p -= alpha * m / (sqrt(v) + eps)
+            np.sqrt(v, out=s)
+            s += self.epsilon
+            np.divide(m, s, out=s)
+            s *= alpha
+            p -= s
 
     def reset(self) -> None:
         self._m = None
         self._v = None
+        self._scratch = None
         self._t = 0
 
 

@@ -116,6 +116,28 @@ class PerfRegistry:
         with self._lock:
             return list(self._samples.get(name, ()))
 
+    def snapshot(self) -> dict:
+        """Picklable dump of every sample and counter.
+
+        Worker processes record into their own process-wide registry and
+        ship this dict back with their result; the parent folds it in
+        with :meth:`merge`, so parallel fits keep the same per-stage
+        stats that a serial run would produce.
+        """
+        with self._lock:
+            return {
+                "samples": {n: list(s) for n, s in self._samples.items()},
+                "counters": dict(self._counters),
+            }
+
+    def merge(self, snap: dict) -> None:
+        """Fold a :meth:`snapshot` from another registry into this one."""
+        for name, samples in snap.get("samples", {}).items():
+            for seconds in samples:
+                self.add_time(name, seconds)
+        for name, amount in snap.get("counters", {}).items():
+            self.incr(name, amount)
+
     def report(self) -> str:
         """Human-readable table of every stage and counter."""
         lines = ["stage                                  calls      total      mean"]

@@ -125,6 +125,8 @@ class ExcitationPointProcess:
         times: np.ndarray,
         horizons: np.ndarray,
         is_event: np.ndarray,
+        *,
+        buffered: bool = False,
     ) -> tuple[float, np.ndarray, np.ndarray]:
         """Mean NLL over the batch plus dNLL/dmu and dNLL/domega.
 
@@ -133,10 +135,10 @@ class ExcitationPointProcess:
         contribute the point term ``-(log mu - omega t)``.
         """
         n = x.shape[0]
-        mu_raw = self.excitation_net.forward(x)[:, 0]
+        mu_raw = self.excitation_net.forward(x, buffered=buffered)[:, 0]
         mu = np.maximum(mu_raw, _MU_FLOOR)
         if self.decay_net is not None:
-            omega_raw = self.decay_net.forward(x)[:, 0]
+            omega_raw = self.decay_net.forward(x, buffered=buffered)[:, 0]
             omega = np.maximum(omega_raw, _OMEGA_FLOOR)
         else:
             omega = np.full(n, self.omega)
@@ -168,6 +170,7 @@ class ExcitationPointProcess:
         validation_fraction: float = 0.0,
         patience: int = 20,
         seed: int = 0,
+        fused: bool = True,
     ) -> PointProcessFitResult:
         """Maximize the likelihood over a set of (user, question) pairs.
 
@@ -217,32 +220,69 @@ class ExcitationPointProcess:
             x, times = x[train_idx], times[train_idx]
             horizons, is_event = horizons[train_idx], is_event[train_idx]
             n = x.shape[0]
-        params = self.excitation_net.parameters()
-        if self.decay_net is not None:
-            params = params + self.decay_net.parameters()
+        if fused:
+            # One flat parameter/gradient vector per network: the Adam
+            # update touches 2 (or 4) arrays per step instead of one pair
+            # per layer, and minibatches gather into fixed buffers.
+            params = [self.excitation_net.flat_parameters()]
+            grads = [self.excitation_net.flat_gradients()]
+            if self.decay_net is not None:
+                params.append(self.decay_net.flat_parameters())
+                grads.append(self.decay_net.flat_gradients())
+        else:
+            params = self.excitation_net.parameters()
+            if self.decay_net is not None:
+                params = params + self.decay_net.parameters()
         result = PointProcessFitResult()
         best_val = np.inf
         best_params: list[np.ndarray] | None = None
         stale = 0
+        bs = min(batch_size, n)
+        if fused:
+            rem = n % bs
+            bufs = {
+                bs: tuple(np.empty(bs) for _ in range(3))
+                + (np.empty((bs, x.shape[1])),)
+            }
+            if rem:
+                bufs[rem] = tuple(np.empty(rem) for _ in range(3)) + (
+                    np.empty((rem, x.shape[1])),
+                )
         for _ in range(epochs):
             order = rng.permutation(n)
             epoch_nll = 0.0
-            for start in range(0, n, batch_size):
-                idx = order[start : start + batch_size]
-                nll, grad_mu, grad_omega = self._batch_nll_and_grads(
-                    x[idx], times[idx], horizons[idx], is_event[idx]
-                )
-                self.excitation_net.backward(grad_mu[:, None])
-                grads = self.excitation_net.gradients()
-                if self.decay_net is not None:
-                    self.decay_net.backward(grad_omega[:, None])
-                    grads = grads + self.decay_net.gradients()
-                opt.step(params, grads)
+            for start in range(0, n, bs):
+                idx = order[start : start + bs]
+                if fused:
+                    tb, hb, eb, xb = bufs[idx.size]
+                    np.take(x, idx, axis=0, out=xb)
+                    np.take(times, idx, out=tb)
+                    np.take(horizons, idx, out=hb)
+                    np.take(is_event, idx, out=eb)
+                    nll, grad_mu, grad_omega = self._batch_nll_and_grads(
+                        xb, tb, hb, eb, buffered=True
+                    )
+                    self.excitation_net.backward(grad_mu[:, None], buffered=True)
+                    if self.decay_net is not None:
+                        self.decay_net.backward(
+                            grad_omega[:, None], buffered=True
+                        )
+                    opt.step(params, grads)
+                else:
+                    nll, grad_mu, grad_omega = self._batch_nll_and_grads(
+                        x[idx], times[idx], horizons[idx], is_event[idx]
+                    )
+                    self.excitation_net.backward(grad_mu[:, None])
+                    step_grads = self.excitation_net.gradients()
+                    if self.decay_net is not None:
+                        self.decay_net.backward(grad_omega[:, None])
+                        step_grads = step_grads + self.decay_net.gradients()
+                    opt.step(params, step_grads)
                 epoch_nll += nll * len(idx)
             result.nll_history.append(epoch_nll / n)
             if val_idx is not None:
                 val_nll, _, _ = self._batch_nll_and_grads(
-                    x_val, t_val, h_val, e_val
+                    x_val, t_val, h_val, e_val, buffered=fused
                 )
                 result.validation_history.append(val_nll)
                 if val_nll < best_val - 1e-12:

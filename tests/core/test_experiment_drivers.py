@@ -18,6 +18,7 @@ TINY = PredictorConfig(
 )
 
 
+@pytest.mark.slow
 class TestTopicSweep:
     def test_returns_percent_changes(self, dataset):
         results = run_topic_sweep(

@@ -37,6 +37,7 @@ class TestStrategyConfig:
             OnlineConfig(refit_strategy="incremental", warm_start=False)
 
 
+@pytest.mark.slow
 class TestEquivalence:
     @pytest.fixture(scope="class")
     def reports(self, dataset, predictor_config):

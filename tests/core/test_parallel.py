@@ -1,6 +1,7 @@
 """Parallel CV dispatch: n_jobs resolution and serial/parallel identity."""
 
 import numpy as np
+import pytest
 
 from repro.core.evaluation import (
     _cv_task_metrics,
@@ -49,6 +50,7 @@ class TestParallelMap:
         assert _parallel_map(_square, [5], n_jobs=4) == [25]
 
 
+@pytest.mark.slow
 class TestDeterminism:
     def test_table1_parallel_equals_serial(
         self, dataset, predictor_config, extractor, pairs

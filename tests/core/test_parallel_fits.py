@@ -1,0 +1,137 @@
+"""Parallel per-task model fits: determinism, perf merging, warm resets."""
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.core.pipeline import ForumPredictor
+from repro.core.timing_model import TimingModel
+from repro.core.vote_model import VoteModel
+
+
+def _probe_pairs(dataset, n=25):
+    records = dataset.answer_records()[:n]
+    return [(r.user, dataset.thread(r.thread_id)) for r in records]
+
+
+@pytest.mark.slow
+class TestParallelFitDeterminism:
+    def test_fit_parallel_equals_serial_bitwise(
+        self, dataset, predictor_config
+    ):
+        """The three task fits are deterministic and independent, so
+        dispatching them to worker processes must reproduce the serial
+        predictions bit for bit."""
+        probe = _probe_pairs(dataset)
+        serial = ForumPredictor(predictor_config).fit(dataset, n_jobs=1)
+        parallel = ForumPredictor(predictor_config).fit(dataset, n_jobs=4)
+        s, p = serial.predict_batch(probe), parallel.predict_batch(probe)
+        for key in ("answer", "votes", "response_time"):
+            np.testing.assert_array_equal(s[key], p[key])
+
+    def test_warm_refit_parallel_equals_serial_bitwise(
+        self, dataset, predictor_config
+    ):
+        probe = _probe_pairs(dataset)
+        serial = ForumPredictor(predictor_config).fit(dataset, n_jobs=1)
+        parallel = ForumPredictor(predictor_config).fit(dataset, n_jobs=1)
+        serial.fit(dataset, warm_start=True, n_jobs=1)
+        parallel.fit(dataset, warm_start=True, n_jobs=4)
+        s, p = serial.predict_batch(probe), parallel.predict_batch(probe)
+        for key in ("answer", "votes", "response_time"):
+            np.testing.assert_array_equal(s[key], p[key])
+
+    def test_env_variable_drives_fit_dispatch(
+        self, dataset, predictor_config, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_N_JOBS", "2")
+        predictor = ForumPredictor(predictor_config).fit(dataset)
+        preds = predictor.predict_batch(_probe_pairs(dataset, 5))
+        assert np.all(np.isfinite(preds["answer"]))
+
+    def test_parallel_fit_merges_worker_perf_stages(
+        self, dataset, predictor_config
+    ):
+        """Stage timers recorded inside worker processes must land in
+        the parent registry, one call per task model."""
+        with perf.use_registry() as reg:
+            ForumPredictor(predictor_config).fit(dataset, n_jobs=2)
+        for stage in (
+            "pipeline.fit_answer",
+            "pipeline.fit_vote",
+            "pipeline.fit_timing",
+        ):
+            stat = reg.stage(stage)
+            assert stat.calls == 1
+            assert stat.total_seconds > 0.0
+        assert reg.stage("pipeline.fit_models").calls == 1
+        assert reg.stage("pipeline.features").calls == 1
+
+
+class TestOptimizerResetOnWarmRefit:
+    """Warm refits fine-tune from the current weights but always restart
+    the Adam moments; stale optimizer state must never leak into the
+    outcome (the documented engine contract)."""
+
+    def test_vote_warm_refit_ignores_stale_optimizer_state(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(80, 6))
+        y = rng.normal(size=80)
+        poisoned = VoteModel(6, hidden=(8,), epochs=40, seed=1)
+        control = VoteModel(6, hidden=(8,), epochs=40, seed=1)
+        poisoned.fit(x, y)
+        control.fit(x, y)
+        poisoned.optimizer._t = 12345
+        for m in poisoned.optimizer._m:
+            m += 100.0
+        poisoned.fit(x, y, epochs=10)
+        control.fit(x, y, epochs=10)
+        np.testing.assert_array_equal(poisoned.predict(x), control.predict(x))
+        assert poisoned.optimizer._t < 12345
+
+    def test_timing_warm_refit_ignores_stale_optimizer_state(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(60, 5))
+        times = rng.uniform(0.1, 3.0, size=60)
+        horizons = np.full(60, 10.0)
+        is_event = (rng.random(60) < 0.5).astype(float)
+        poisoned = TimingModel(
+            5, excitation_hidden=(6,), decay="constant", epochs=20, seed=2
+        )
+        control = TimingModel(
+            5, excitation_hidden=(6,), decay="constant", epochs=20, seed=2
+        )
+        poisoned.fit(x, times, horizons, is_event)
+        control.fit(x, times, horizons, is_event)
+        poisoned.optimizer._t = 9999
+        for m in poisoned.optimizer._m:
+            m += 50.0
+        poisoned.fit(x, times, horizons, is_event, epochs=5)
+        control.fit(x, times, horizons, is_event, epochs=5)
+        np.testing.assert_array_equal(
+            poisoned.predict(x, horizons), control.predict(x, horizons)
+        )
+        assert poisoned.optimizer._t < 9999
+
+
+class TestPerfSnapshotMerge:
+    def test_snapshot_round_trips_samples_and_counters(self):
+        reg = perf.PerfRegistry()
+        reg.add_time("stage.a", 0.25)
+        reg.add_time("stage.a", 0.75)
+        reg.incr("count.b", 3)
+        other = perf.PerfRegistry()
+        other.merge(reg.snapshot())
+        assert other.samples("stage.a") == [0.25, 0.75]
+        assert other.stage("stage.a").calls == 2
+        assert other.counter("count.b") == 3
+
+    def test_merge_accumulates_into_existing_stats(self):
+        reg = perf.PerfRegistry()
+        reg.add_time("stage.a", 1.0)
+        reg.incr("count.b", 1)
+        snap = reg.snapshot()
+        reg.merge(snap)
+        assert reg.stage("stage.a").calls == 2
+        assert reg.stage("stage.a").total_seconds == 2.0
+        assert reg.counter("count.b") == 2

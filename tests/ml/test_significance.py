@@ -7,6 +7,7 @@ from scipy import stats as scipy_stats
 from repro.ml.significance import bootstrap_ci, paired_t_test
 
 
+@pytest.mark.slow
 class TestBootstrapCI:
     def test_contains_true_mean(self):
         rng = np.random.default_rng(0)

@@ -121,6 +121,7 @@ class TestTrainAndRoute:
         assert code == 1
 
 
+@pytest.mark.slow
 class TestEvaluate:
     def test_prints_table(self, dataset_path, capsys):
         code = main(

@@ -32,6 +32,7 @@ def topic_block_mass(topic_word_row):
 
 
 @pytest.mark.parametrize("cls", [LdaGibbs, LdaVariational], ids=["gibbs", "vb"])
+@pytest.mark.slow
 class TestRecovery:
     def test_distributions_are_simplex(self, cls):
         docs, _ = make_block_corpus()

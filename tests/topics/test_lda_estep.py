@@ -1,0 +1,90 @@
+"""Equivalence of the three LdaVariational E-step engines.
+
+The batched active-set engine is the performance path; the per-document
+loop is the readable reference.  The ISSUE requires them to agree to
+1e-8; by construction they perform identical arithmetic in identical
+order, so we actually hold them to bit-level agreement and keep the
+1e-8 tolerance only as the documented contract.
+"""
+
+import numpy as np
+import pytest
+
+from repro.topics.lda import LdaVariational
+
+
+def _docs(seed: int, n_docs: int = 40, vocab: int = 30) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    docs = []
+    for _ in range(n_docs):
+        length = int(rng.integers(0, 25))
+        docs.append(rng.integers(0, vocab, size=length))
+    docs.append(np.array([], dtype=int))  # empty doc keeps the prior
+    return docs
+
+
+def _fit(e_step: str, seed: int = 3) -> LdaVariational:
+    model = LdaVariational(
+        n_topics=4, vocab_size=30, n_iter=15, seed=seed, e_step=e_step
+    )
+    model.fit(_docs(seed))
+    return model
+
+
+class TestEngineEquivalence:
+    def test_batched_matches_perdoc_exactly(self):
+        batched = _fit("batched")
+        perdoc = _fit("perdoc")
+        assert np.max(np.abs(batched.doc_topic_ - perdoc.doc_topic_)) <= 1e-8
+        assert np.max(np.abs(batched.topic_word_ - perdoc.topic_word_)) <= 1e-8
+        np.testing.assert_array_equal(batched.doc_topic_, perdoc.doc_topic_)
+        np.testing.assert_array_equal(batched.topic_word_, perdoc.topic_word_)
+
+    def test_transform_matches_perdoc_exactly(self):
+        batched = _fit("batched")
+        perdoc = _fit("perdoc")
+        held_out = _docs(99, n_docs=15)
+        np.testing.assert_array_equal(
+            batched.transform(held_out), perdoc.transform(held_out)
+        )
+
+    def test_global_engine_still_trains(self):
+        model = _fit("global")
+        np.testing.assert_allclose(model.doc_topic_.sum(axis=1), 1.0)
+        np.testing.assert_allclose(model.topic_word_.sum(axis=1), 1.0)
+
+    @pytest.mark.parametrize("engine", ["batched", "global"])
+    def test_engines_recover_block_structure(self, engine):
+        # Warm-started per-document E-steps follow a different ascent
+        # trajectory than the legacy corpus-wide one, so the engines
+        # need not land on identical optima — but on a separable corpus
+        # both must recover the same block structure.
+        rng = np.random.default_rng(0)
+        docs = []
+        for i in range(60):
+            block = rng.integers(0, 15) if i % 2 else rng.integers(15, 30)
+            docs.append(
+                rng.integers(15 * (i % 2 == 0), 15 + 15 * (i % 2 == 0), 40)
+            )
+        model = LdaVariational(
+            n_topics=2, vocab_size=30, n_iter=30, seed=1, e_step=engine
+        )
+        model.fit(docs)
+        block_mass = model.topic_word_[:, :15].sum(axis=1)
+        assert (block_mass.min() < 0.05) and (block_mass.max() > 0.95)
+
+
+class TestEngineConfig:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="e_step"):
+            LdaVariational(n_topics=2, vocab_size=5, e_step="bogus")
+
+    @pytest.mark.parametrize("engine", ["batched", "perdoc", "global"])
+    def test_state_round_trip_preserves_engine(self, engine):
+        model = _fit(engine)
+        restored = LdaVariational.from_state(*model.to_state())
+        assert restored.e_step == engine
+        held_out = _docs(7, n_docs=10)
+        np.testing.assert_array_equal(
+            model.transform(held_out), restored.transform(held_out)
+        )
