@@ -25,6 +25,7 @@ from .core import (
     OnlineRecommendationLoop,
     PredictorConfig,
     QuestionRouter,
+    ResilienceConfig,
     run_table1,
 )
 from .core.persistence import load_predictor, save_predictor
@@ -114,6 +115,16 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument(
         "--perf", action="store_true", help="print the stage-timer report"
     )
+    replay.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="replay through the fault injector + hardened loop; SPEC is "
+        "comma-separated key=value pairs, e.g. "
+        "'seed=7,dup=0.05,ooo=0.1,nan=0.02,skew=0.05,trunc=0.02' "
+        "(keys: seed, dup[licate], ooo/out_of_order, nan/missing, "
+        "skew/clock_skew, skew_hours, trunc[ate], delay/max_delay)",
+    )
 
     route = sub.add_parser("route", help="recommend answerers for a question")
     route.add_argument("--input", type=Path, required=True)
@@ -199,6 +210,46 @@ def _cmd_evaluate(args) -> int:
     return 0
 
 
+_FAULT_KEYS = {
+    "seed": "seed",
+    "dup": "duplicate_rate",
+    "duplicate": "duplicate_rate",
+    "ooo": "out_of_order_rate",
+    "out_of_order": "out_of_order_rate",
+    "nan": "missing_field_rate",
+    "missing": "missing_field_rate",
+    "skew": "clock_skew_rate",
+    "clock_skew": "clock_skew_rate",
+    "skew_hours": "clock_skew_hours",
+    "trunc": "truncate_rate",
+    "truncate": "truncate_rate",
+    "delay": "max_delay_slots",
+    "max_delay": "max_delay_slots",
+}
+
+
+def _parse_fault_plan(spec: str):
+    from .core.resilience import FaultPlan
+
+    kwargs: dict = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        field_name = _FAULT_KEYS.get(key.strip())
+        if not sep or field_name is None:
+            raise ValueError(
+                f"bad --faults entry {item!r}; keys: "
+                + ", ".join(sorted(set(_FAULT_KEYS)))
+            )
+        if field_name in ("seed", "max_delay_slots"):
+            kwargs[field_name] = int(value)
+        else:
+            kwargs[field_name] = float(value)
+    return FaultPlan(**kwargs)
+
+
 def _cmd_replay(args) -> int:
     from . import perf
 
@@ -207,6 +258,13 @@ def _cmd_replay(args) -> int:
             "error: --cold-start requires --strategy rebuild", file=sys.stderr
         )
         return 2
+    fault_plan = None
+    if args.faults is not None:
+        try:
+            fault_plan = _parse_fault_plan(args.faults)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     dataset = load_dataset(args.input)
     online = OnlineConfig(
         refit_interval_hours=args.refit_interval,
@@ -216,9 +274,10 @@ def _cmd_replay(args) -> int:
         refit_strategy=args.strategy,
         warm_start=not args.cold_start,
     )
-    loop = OnlineRecommendationLoop(_config_from_args(args), online)
+    resilience = ResilienceConfig() if fault_plan is not None else None
+    loop = OnlineRecommendationLoop(_config_from_args(args), online, resilience)
     with perf.use_registry() as registry:
-        report = loop.run(dataset)
+        report = loop.run(dataset, fault_plan=fault_plan)
     print(
         f"strategy {args.strategy}: {report.n_refits} refits, "
         f"{report.n_questions_seen} questions seen, {report.n_routed} routed"
@@ -235,6 +294,17 @@ def _cmd_replay(args) -> int:
             f"MRR {report.mrr:.4f}  "
             f"NDCG@{args.top_k} {report.ndcg_at(args.top_k):.4f}"
         )
+    if report.degradation is not None:
+        summary = report.degradation.summary()
+        if summary:
+            print("degradation:")
+            for action, count in sorted(summary.items()):
+                print(f"  {action}: {count}")
+        else:
+            print("degradation: none (stream replayed clean)")
+        injected = registry.counter("resilience.faults_injected")
+        if injected:
+            print(f"faults injected: {injected}")
     if args.perf:
         print(registry.report())
     return 0

@@ -24,8 +24,26 @@ from .evaluation import (
 from .features import FeatureExtractor, QuestionInfo
 from .featurespec import FEATURE_GROUPS, FEATURE_ORDER, FeatureSpec
 from .online import OnlineConfig, OnlineRecommendationLoop, OnlineReport
-from .persistence import WindowMismatchError, load_predictor, save_predictor
+from .persistence import (
+    CheckpointCorruptError,
+    CheckpointLoadResult,
+    WindowMismatchError,
+    load_checkpoint,
+    load_predictor,
+    save_predictor,
+    write_checkpoint,
+)
 from .pipeline import ForumPredictor, Prediction, PredictorConfig
+from .resilience import (
+    DegradationRecord,
+    DegradationReport,
+    FaultInjector,
+    FaultPlan,
+    FaultRecord,
+    NonFiniteFeatureError,
+    ResilienceConfig,
+    StreamGuard,
+)
 from .routing import QuestionRouter, RoutingResult, solve_routing_lp
 from .state import ForumState, FrozenState
 from .timing_model import TimingModel
@@ -46,9 +64,21 @@ __all__ = [
     "load_predictor",
     "save_predictor",
     "WindowMismatchError",
+    "CheckpointCorruptError",
+    "CheckpointLoadResult",
+    "load_checkpoint",
+    "write_checkpoint",
     "OnlineConfig",
     "OnlineRecommendationLoop",
     "OnlineReport",
+    "DegradationRecord",
+    "DegradationReport",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRecord",
+    "NonFiniteFeatureError",
+    "ResilienceConfig",
+    "StreamGuard",
     "AnswerModel",
     "BatchAssignment",
     "route_batch",

@@ -37,6 +37,19 @@ incremental state holds *every* thread routed so far.  A thread whose
 ``created_at`` exactly ties the refit time would therefore be excluded
 by the rebuild arm but included by the incremental one; with continuous
 timestamps such ties do not occur.
+
+Resilient serving: constructing the loop with a
+:class:`~repro.core.resilience.ResilienceConfig` (or passing a
+:class:`~repro.core.resilience.FaultPlan` to :meth:`run`) switches the
+replay onto a hardened path.  Every event passes a
+:class:`~repro.core.resilience.StreamGuard` (quarantine/repair/dedupe),
+``_refit`` is wrapped in bounded retry with snapshot fallback and
+schedule-level backoff, non-finite scores are masked before ranking,
+and every decision is recorded in a per-step
+:class:`~repro.core.resilience.DegradationReport` attached to the
+returned :class:`OnlineReport`.  On a clean stream the resilient path
+produces a report identical to the plain one, which the differential
+tests assert.
 """
 
 from __future__ import annotations
@@ -47,8 +60,16 @@ import numpy as np
 
 from .. import perf
 from ..forum.dataset import ForumDataset
+from ..forum.models import Thread
 from ..ml.ranking import mean_reciprocal_rank, ndcg_at_k, precision_at_k
 from .pipeline import ForumPredictor, PredictorConfig
+from .resilience import (
+    DegradationReport,
+    FaultInjector,
+    FaultPlan,
+    ResilienceConfig,
+    StreamGuard,
+)
 from .routing import QuestionRouter
 from .state import ForumState
 
@@ -109,6 +130,8 @@ class OnlineReport:
     n_refits: int = 0
     rankings: list[tuple[list[int], set[int]]] = field(default_factory=list)
     routed_scores: list[float] = field(default_factory=list)
+    # Populated only by resilient runs: what was dropped/repaired/retried.
+    degradation: DegradationReport | None = None
 
     @property
     def hit_rate_at_1(self) -> float:
@@ -146,13 +169,20 @@ class OnlineRecommendationLoop:
         self,
         predictor_config: PredictorConfig | None = None,
         online_config: OnlineConfig | None = None,
+        resilience_config: ResilienceConfig | None = None,
     ):
         self.predictor_config = predictor_config or PredictorConfig()
         self.online_config = online_config or OnlineConfig()
+        self.resilience_config = resilience_config
         self._predictor: ForumPredictor | None = None
         self._state: ForumState | None = None
         self._router: QuestionRouter | None = None
         self._candidates: list[int] = []
+        # Resilient-path bookkeeping: the last window that refit cleanly
+        # (the fallback snapshot) and the consecutive-failure count that
+        # drives the schedule-level backoff.
+        self._last_good: ForumDataset | None = None
+        self._refit_failures = 0
 
     def _feasible(self, n_threads: int, n_answers: int) -> bool:
         return n_threads >= _MIN_THREADS and n_answers >= _MIN_ANSWERS
@@ -191,20 +221,37 @@ class OnlineRecommendationLoop:
             with perf.timer("online.refit"):
                 predictor.refit_from_state(self._state, n_jobs=cfg.n_jobs)
             candidates = self._state.answerers
+        self._bind_router(candidates)
+        return True
+
+    def _bind_router(self, candidates) -> None:
+        cfg = self.online_config
         self._router = QuestionRouter(
-            predictor,
+            self._predictor,
             epsilon=cfg.epsilon,
             default_capacity=cfg.default_capacity,
         )
         self._candidates = sorted(candidates)
-        return True
 
-    def run(self, dataset: ForumDataset) -> OnlineReport:
+    def run(
+        self, dataset: ForumDataset, fault_plan: FaultPlan | None = None
+    ) -> OnlineReport:
         """Stream the dataset's questions through the deployment loop.
 
         Questions are visited chronologically; the model in use at any
         point was trained strictly on earlier threads.
+
+        With a ``fault_plan`` (or a loop-level
+        :class:`~repro.core.resilience.ResilienceConfig`) the stream is
+        perturbed by a :class:`~repro.core.resilience.FaultInjector`
+        and replayed through the hardened path; the returned report then
+        carries a :class:`~repro.core.resilience.DegradationReport`.
         """
+        if fault_plan is None and self.resilience_config is None:
+            return self._run_plain(dataset)
+        return self._run_resilient(dataset, fault_plan)
+
+    def _run_plain(self, dataset: ForumDataset) -> OnlineReport:
         cfg = self.online_config
         report = OnlineReport()
         next_refit = cfg.warmup_hours
@@ -224,7 +271,171 @@ class OnlineRecommendationLoop:
                 self._state.append(thread)
         return report
 
-    def _route(self, thread, now: float, report: OnlineReport) -> None:
+    def _run_resilient(
+        self, dataset: ForumDataset, fault_plan: FaultPlan | None
+    ) -> OnlineReport:
+        """Hardened replay: guard every event, recover every refit.
+
+        Mirrors :meth:`_run_plain` step for step — on a clean stream the
+        two paths produce identical reports: refit windows are built
+        from the admitted prefix with the same end-exclusive slicing,
+        and routing/appending happen in the same order.
+        """
+        cfg = self.online_config
+        res = self.resilience_config or ResilienceConfig()
+        report = OnlineReport()
+        degradation = DegradationReport()
+        report.degradation = degradation
+        guard = StreamGuard(res, degradation)
+        self.guard = guard
+        if fault_plan is not None:
+            stream = FaultInjector(fault_plan).perturb(dataset)
+        else:
+            stream = list(dataset)
+        accepted: list[Thread] = []
+        skip_refits = 0
+        next_refit = cfg.warmup_hours
+        for event in stream:
+            thread = guard.admit(event)
+            if thread is None:
+                continue
+            accepted.append(thread)
+            now = thread.created_at
+            if now >= next_refit:
+                if skip_refits > 0:
+                    skip_refits -= 1
+                    degradation.add(
+                        -1, -1, "refit:backoff_skipped",
+                        f"{skip_refits} grid intervals of backoff remain",
+                    )
+                else:
+                    # The current event sits last in ``accepted``; the
+                    # end-exclusive window slice excludes it, exactly as
+                    # the plain path excludes it from the full dataset.
+                    ok = self._refit_with_recovery(
+                        ForumDataset(accepted), now, degradation, res
+                    )
+                    if ok:
+                        report.n_refits += 1
+                    elif self._refit_failures > 0:
+                        skip_refits = min(
+                            res.backoff_base ** (self._refit_failures - 1),
+                            res.max_backoff_intervals,
+                        )
+                while next_refit <= now:
+                    next_refit += cfg.refit_interval_hours
+            self._route(thread, now, report, degradation)
+            if self._state is not None:
+                if thread.created_at >= self._state.last_created:
+                    self._state.append(thread)
+                else:  # unreachable once admitted; belt and braces
+                    degradation.add(
+                        guard._seq, thread.thread_id, "dropped:stale_event",
+                        "behind the live state clock after admission",
+                    )
+        return report
+
+    def _refit_with_recovery(
+        self,
+        window_dataset: ForumDataset,
+        now: float,
+        degradation: DegradationReport,
+        res: ResilienceConfig,
+    ) -> bool:
+        """Bounded retry around ``_refit``; snapshot fallback on failure.
+
+        Retries cover transient faults (worker death, allocation
+        failure); a deterministic poison — e.g.
+        :class:`~repro.core.resilience.NonFiniteFeatureError` from a
+        corrupt window — fails every attempt and lands in the fallback,
+        which restores the last cleanly fitted window and retrains on
+        it.  Threads admitted after that snapshot are dropped from the
+        training window (they remain routed); serving never stops.
+        """
+        cfg = self.online_config
+        prior_state = self._state
+        attempts = 0
+        while True:
+            try:
+                ok = self._refit(window_dataset, now)
+            except Exception as exc:  # noqa: BLE001 — recovery boundary
+                attempts += 1
+                self._state = prior_state
+                perf.incr("resilience.refit_retries")
+                degradation.add(
+                    -1, -1, "refit:retry",
+                    f"attempt {attempts}: {type(exc).__name__}: {exc}"[:200],
+                )
+                if attempts <= res.max_refit_retries:
+                    continue
+                self._refit_failures += 1
+                self._fallback_to_snapshot(degradation, exc)
+                return False
+            break
+        if ok:
+            self._refit_failures = 0
+            # Snapshot the window that just fitted cleanly: for the
+            # incremental arm the live state, for rebuild the slice.
+            if self._state is not None:
+                self._last_good = self._state.to_dataset()
+            else:
+                self._last_good = window_dataset.threads_in_window(
+                    max(0.0, now - cfg.window_hours), now
+                )
+        return ok
+
+    def _fallback_to_snapshot(
+        self, degradation: DegradationReport, exc: Exception
+    ) -> None:
+        """Restore the last-good window and retrain, keeping serving up."""
+        cfg = self.online_config
+        if self._last_good is None or self._predictor is None:
+            # Nothing fitted cleanly yet: flush the poisoned bootstrap
+            # state and let a later grid point try again once the
+            # window has slid past the corrupt threads.
+            self._state = None
+            degradation.add(
+                -1, -1, "refit:fallback_unavailable",
+                f"{type(exc).__name__} before any successful refit",
+            )
+            return
+        perf.incr("resilience.refit_fallbacks")
+        degradation.add(
+            -1, -1, "refit:fallback",
+            f"{type(exc).__name__}: restored last-good window of "
+            f"{len(self._last_good)} threads",
+        )
+        try:
+            if cfg.refit_strategy == "rebuild":
+                self._predictor.fit(
+                    self._last_good,
+                    warm_start=cfg.warm_start,
+                    n_jobs=cfg.n_jobs,
+                )
+                candidates = self._last_good.answerers
+            else:
+                self._state = ForumState.from_dataset(
+                    self._last_good, self._predictor.topics
+                )
+                self._predictor.refit_from_state(
+                    self._state, n_jobs=cfg.n_jobs
+                )
+                candidates = self._state.answerers
+            self._bind_router(candidates)
+        except Exception as inner:  # noqa: BLE001 — keep stale router
+            degradation.add(
+                -1, -1, "refit:fallback_unavailable",
+                f"snapshot retrain failed ({type(inner).__name__}); "
+                "continuing with the previous router",
+            )
+
+    def _route(
+        self,
+        thread,
+        now: float,
+        report: OnlineReport,
+        degradation: DegradationReport | None = None,
+    ) -> None:
         cfg = self.online_config
         if self._router is None or now < cfg.warmup_hours:
             return
@@ -239,7 +450,16 @@ class OnlineRecommendationLoop:
                 [(u, thread) for u in candidates]
             )
         perf.incr("online.candidate_pairs", len(candidates))
-        order = np.argsort(-predictions["answer"], kind="stable")
+        scores = predictions["answer"]
+        if degradation is not None:
+            bad = ~np.isfinite(scores)
+            if bad.any():
+                degradation.add(
+                    -1, thread.thread_id, "masked:nonfinite_score",
+                    f"{int(bad.sum())} of {len(scores)} candidate scores",
+                )
+                scores = np.where(bad, -np.inf, scores)
+        order = np.argsort(-scores, kind="stable")
         ranked = [candidates[i] for i in order[: cfg.top_k]]
         actual = set(thread.answerers)
         if actual:
@@ -251,7 +471,14 @@ class OnlineRecommendationLoop:
             )
         if result is None:
             return
-        report.n_routed += 1
         top_user = result.ranked_users()[0][0]
         idx = int(np.flatnonzero(result.users == top_user)[0])
-        report.routed_scores.append(float(result.scores[idx]))
+        score = float(result.scores[idx])
+        if degradation is not None and not np.isfinite(score):
+            degradation.add(
+                -1, thread.thread_id, "masked:nonfinite_score",
+                "routing objective not finite; pick not recorded",
+            )
+            return
+        report.n_routed += 1
+        report.routed_scores.append(score)

@@ -14,15 +14,28 @@ Format v2 additionally snapshots a fingerprint of the feature window
 supplied window against it, so a predictor can no longer be silently
 rebuilt over the wrong threads.  Version-1 archives predate the
 fingerprint and still load, without the check.
+
+Writes are crash-consistent: archives land in a temporary file and are
+moved into place with ``os.replace``, so a crash mid-save never leaves
+a torn archive at the target path.  :func:`write_checkpoint` layers
+rotation on top — the previous checkpoint is kept at ``<name>.prev.npz``
+and each archive gets a content-digest manifest — and
+:func:`load_checkpoint` verifies the digest before deserializing,
+falling back to the previous snapshot when the current one is torn or
+tampered rather than raising mid-serve.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
 
+from .. import perf
 from ..forum.dataset import ForumDataset
 from ..ml.network import MLP
 from ..ml.scaler import StandardScaler
@@ -32,7 +45,15 @@ from .features import FeatureExtractor
 from .pipeline import ForumPredictor, PredictorConfig
 from .topic_context import TopicModelContext
 
-__all__ = ["save_predictor", "load_predictor", "WindowMismatchError"]
+__all__ = [
+    "save_predictor",
+    "load_predictor",
+    "WindowMismatchError",
+    "CheckpointCorruptError",
+    "CheckpointLoadResult",
+    "write_checkpoint",
+    "load_checkpoint",
+]
 
 _FORMAT_VERSION = 2
 _SUPPORTED_VERSIONS = (1, 2)
@@ -40,6 +61,10 @@ _SUPPORTED_VERSIONS = (1, 2)
 
 class WindowMismatchError(ValueError):
     """The dataset supplied at load time is not the saved feature window."""
+
+
+class CheckpointCorruptError(ValueError):
+    """Neither the current nor the previous checkpoint could be loaded."""
 
 
 def _mlp_arrays(prefix: str, net: MLP, meta: dict, arrays: dict) -> None:
@@ -143,7 +168,136 @@ def save_predictor(predictor: ForumPredictor, path: str | Path) -> None:
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    np.savez_compressed(Path(path), **arrays)
+    path = _npz_path(path)
+    # Write-temp + rename: np.savez appends ".npz" unless the name
+    # already carries it, so the temporary name must end in ".npz" for
+    # the replace to target the file actually written.
+    tmp = path.with_name(path.name + ".tmp.npz")
+    np.savez_compressed(tmp, **arrays)
+    os.replace(tmp, path)
+
+
+def _npz_path(path: str | Path) -> Path:
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def _digest(path: Path) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def _prev_path(path: Path) -> Path:
+    return path.with_name(path.stem + ".prev.npz")
+
+
+def _manifest_path(path: Path) -> Path:
+    return path.with_name(path.stem + ".manifest.json")
+
+
+def _write_json_atomic(payload: dict, path: Path) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    os.replace(tmp, path)
+
+
+def write_checkpoint(predictor: ForumPredictor, path: str | Path) -> Path:
+    """Save a rotating, digest-verified checkpoint of ``predictor``.
+
+    The archive is written to a temporary file first, the previously
+    current checkpoint (and its manifest) rotate to ``<name>.prev.*``,
+    and only then does the new archive move into place — at every
+    instant the path set contains at least one complete archive, so a
+    crash at any step leaves :func:`load_checkpoint` something to serve.
+    Returns the final archive path.
+    """
+    path = _npz_path(path)
+    tmp = path.with_name(path.name + ".rotate.tmp.npz")
+    save_predictor(predictor, tmp)
+    manifest = {
+        "digest": _digest(tmp),
+        "size": tmp.stat().st_size,
+        "format_version": _FORMAT_VERSION,
+    }
+    if path.exists():
+        prev_manifest = _manifest_path(path)
+        if prev_manifest.exists():
+            os.replace(prev_manifest, _manifest_path(_prev_path(path)))
+        os.replace(path, _prev_path(path))
+    os.replace(tmp, path)
+    _write_json_atomic(manifest, _manifest_path(path))
+    perf.incr("resilience.checkpoints_written")
+    return path
+
+
+@dataclass(frozen=True)
+class CheckpointLoadResult:
+    """What :func:`load_checkpoint` served, and how degraded it is."""
+
+    predictor: ForumPredictor
+    fallback_used: bool = False
+    diagnostic: str = ""
+
+
+def _verify_manifest(path: Path) -> None:
+    manifest_path = _manifest_path(path)
+    if not manifest_path.exists():
+        return  # archives written by bare save_predictor have none
+    manifest = json.loads(manifest_path.read_text())
+    if path.stat().st_size != manifest["size"]:
+        raise CheckpointCorruptError(
+            f"{path.name}: size {path.stat().st_size} != manifest "
+            f"{manifest['size']} (torn write?)"
+        )
+    if _digest(path) != manifest["digest"]:
+        raise CheckpointCorruptError(
+            f"{path.name}: content digest does not match its manifest"
+        )
+
+
+def load_checkpoint(
+    path: str | Path, feature_window: ForumDataset
+) -> CheckpointLoadResult:
+    """Load a checkpoint, falling back to the previous one if torn.
+
+    The current archive is digest-verified against its manifest and
+    deserialized; on any corruption (truncated file, digest mismatch,
+    unreadable archive) the previous rotation is tried with the same
+    checks.  A :class:`WindowMismatchError` is re-raised as-is — a
+    wrong ``feature_window`` is a caller error, not disk corruption —
+    and :class:`CheckpointCorruptError` is raised only when both
+    generations fail.
+    """
+    path = _npz_path(path)
+    failures: list[str] = []
+    for candidate, is_fallback in ((path, False), (_prev_path(path), True)):
+        if not candidate.exists():
+            failures.append(f"{candidate.name}: missing")
+            continue
+        try:
+            _verify_manifest(candidate)
+            predictor = load_predictor(candidate, feature_window)
+        except WindowMismatchError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — collect and fall back
+            failures.append(f"{candidate.name}: {type(exc).__name__}: {exc}")
+            continue
+        diagnostic = ""
+        if is_fallback:
+            perf.incr("resilience.checkpoint_fallbacks")
+            diagnostic = (
+                "current checkpoint unusable, served previous snapshot "
+                f"({'; '.join(failures)})"
+            )
+        return CheckpointLoadResult(predictor, is_fallback, diagnostic)
+    raise CheckpointCorruptError(
+        "no loadable checkpoint generation: " + "; ".join(failures)
+    )
 
 
 def _check_window(meta: dict, feature_window: ForumDataset) -> None:

@@ -30,6 +30,7 @@ from ..forum.models import Thread
 from .answer_model import AnswerModel
 from .features import FeatureExtractor
 from .parallel import parallel_map
+from .resilience import NonFiniteFeatureError
 from .state import ForumState
 from .timing_model import TimingModel
 from .topic_context import TopicModelContext
@@ -178,6 +179,16 @@ class ForumPredictor:
         all_pairs = pos_pairs + neg_pairs
         with perf.timer("pipeline.features"):
             x_all = self.extractor.feature_matrix(all_pairs)
+        if not np.isfinite(x_all).all():
+            # Poisoned window: refuse to train rather than let NaN/inf
+            # propagate silently into the model weights.  The resilient
+            # online loop catches this and falls back to its last-good
+            # snapshot; offline callers should repair the dataset first.
+            n_bad = int((~np.isfinite(x_all)).sum())
+            raise NonFiniteFeatureError(
+                f"feature matrix contains {n_bad} non-finite entries "
+                f"across {len(all_pairs)} pairs"
+            )
         x_pos = x_all[: len(pos_pairs)]
         is_event = np.r_[np.ones(len(pos_pairs)), np.zeros(len(neg_pairs))]
 

@@ -226,6 +226,15 @@ class ForumState:
         return self._num_answers
 
     @property
+    def last_created(self) -> float:
+        """Creation time of the newest appended thread (-inf when empty).
+
+        ``append`` rejects anything older; resilient consumers check
+        against this clock before folding a repaired event in.
+        """
+        return self._last_created
+
+    @property
     def answerers(self) -> set[int]:
         return set(self._rows)
 

@@ -2,14 +2,24 @@
 
 Pairs with :mod:`repro.forum.validation`: where the validator reports,
 the repairer fixes — dropping offending answers (pre-question
-timestamps, self-answers, duplicate post ids) and, where a question
-itself is broken, the whole thread.  The result always validates clean
-apart from ``empty_body`` (which featurization tolerates).
+timestamps, self-answers, duplicate post ids, non-finite timestamps),
+coercing non-finite vote counts to zero and, where a question itself is
+broken, the whole thread.  The result always validates clean apart from
+``empty_body`` (which featurization tolerates).
+
+Duplicate resolution is **order-independent**: which occurrence of a
+duplicated post id survives is decided by a deterministic key on the
+posts themselves (finite timestamps beat non-finite, then earliest
+timestamp, then questions beat answers, then lowest thread id), never
+by the order threads happen to be iterated.  Repairing a shuffled copy
+of a dataset therefore yields the same surviving posts as repairing the
+sorted original, which the regression tests assert.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 
 from .dataset import ForumDataset
 from .models import Post, Thread
@@ -19,50 +29,103 @@ __all__ = ["RepairReport", "repair_dataset"]
 
 @dataclass(frozen=True)
 class RepairReport:
-    """What repair removed."""
+    """What repair removed or rewrote."""
 
     answers_dropped_duplicate_id: int
     answers_dropped_before_question: int
     answers_dropped_self_answer: int
     threads_dropped_duplicate_question_id: int
+    answers_dropped_nonfinite_time: int = 0
+    threads_dropped_nonfinite_time: int = 0
+    votes_coerced: int = 0
+
+
+def _occurrence_key(post: Post, in_question: bool) -> tuple:
+    """Ranking key for duplicate-id resolution; smallest wins.
+
+    Depends only on the competing posts, not on iteration order:
+    finite timestamps beat non-finite, then the earliest timestamp,
+    then questions beat answers (dropping a question drops its whole
+    thread, so the question occurrence is the cheaper one to keep),
+    then the lowest thread id as the final deterministic tiebreak.
+    """
+    finite = math.isfinite(post.timestamp)
+    return (
+        0 if finite else 1,
+        post.timestamp if finite else 0.0,
+        0 if in_question else 1,
+        post.thread_id,
+    )
 
 
 def repair_dataset(dataset: ForumDataset) -> tuple[ForumDataset, RepairReport]:
     """Drop every structurally invalid post; returns (dataset, report).
 
-    Repair is conservative: it never rewrites timestamps or authors,
-    only removes what cannot be trusted.  Threads left without answers
-    are kept (preprocessing decides what to do with them).
+    Repair is conservative: it never rewrites timestamps or authors —
+    only removes what cannot be trusted and zeroes vote counts that are
+    not finite numbers.  Threads left without answers are kept
+    (preprocessing decides what to do with them).
     """
-    seen_post_ids: set[int] = set()
+    # Pass 1: elect a winner for every duplicated post id.  Within one
+    # thread the first occurrence wins ties (answers are stored sorted,
+    # so intra-thread order is not an artifact of dataset order).
+    best: dict[int, tuple] = {}
+    for thread in dataset:
+        for position, post in enumerate(thread.posts):
+            key = _occurrence_key(post, post.is_question) + (position,)
+            if post.post_id not in best or key < best[post.post_id]:
+                best[post.post_id] = key
+
+    def wins(post: Post, position: int) -> bool:
+        return best[post.post_id] == (
+            _occurrence_key(post, post.is_question) + (position,)
+        )
+
     threads: list[Thread] = []
     dup_answers = 0
     early_answers = 0
     self_answers = 0
     dup_questions = 0
+    nan_answers = 0
+    nan_questions = 0
+    votes_coerced = 0
     for thread in dataset:
-        if thread.question.post_id in seen_post_ids:
+        question = thread.question
+        if not math.isfinite(question.timestamp):
+            nan_questions += 1
+            continue
+        if not wins(question, 0):
             dup_questions += 1
             continue
-        seen_post_ids.add(thread.question.post_id)
+        if not math.isfinite(float(question.votes)):
+            question = replace(question, votes=0)
+            votes_coerced += 1
         kept: list[Post] = []
-        for answer in thread.answers:
-            if answer.post_id in seen_post_ids:
+        for position, answer in enumerate(thread.answers, start=1):
+            if not math.isfinite(answer.timestamp):
+                nan_answers += 1
+                continue
+            if not wins(answer, position):
                 dup_answers += 1
                 continue
-            if answer.timestamp < thread.created_at:
+            if answer.timestamp < question.timestamp:
                 early_answers += 1
                 continue
             if answer.author == thread.asker:
                 self_answers += 1
                 continue
-            seen_post_ids.add(answer.post_id)
+            if not math.isfinite(float(answer.votes)):
+                answer = replace(answer, votes=0)
+                votes_coerced += 1
             kept.append(answer)
-        threads.append(Thread(question=thread.question, answers=kept))
+        threads.append(Thread(question=question, answers=kept))
     report = RepairReport(
         answers_dropped_duplicate_id=dup_answers,
         answers_dropped_before_question=early_answers,
         answers_dropped_self_answer=self_answers,
         threads_dropped_duplicate_question_id=dup_questions,
+        answers_dropped_nonfinite_time=nan_answers,
+        threads_dropped_nonfinite_time=nan_questions,
+        votes_coerced=votes_coerced,
     )
     return ForumDataset(threads), report

@@ -8,6 +8,7 @@ validator reports every violation so loaders and the CLI can fail fast
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from .dataset import ForumDataset
@@ -54,6 +55,10 @@ def validate_dataset(dataset: ForumDataset) -> ValidationReport:
     * ``self_answer`` — the asker answered their own question;
     * ``negative_timestamp`` — a post timestamp below zero (should be
       impossible via the data model, checked for belt and braces);
+    * ``nonfinite_timestamp`` — a NaN/inf post timestamp (NaN slips
+      past the data model's ``timestamp < 0`` check, so the validator
+      must catch it before featurization does);
+    * ``nonfinite_votes`` — a NaN/inf vote count;
     * ``empty_body`` — a post with a completely empty body.
     """
     report = ValidationReport()
@@ -77,6 +82,22 @@ def validate_dataset(dataset: ForumDataset) -> ValidationReport:
                         "negative_timestamp",
                         thread.thread_id,
                         f"post {post.post_id} at t={post.timestamp}",
+                    )
+                )
+            if not math.isfinite(post.timestamp):
+                report.issues.append(
+                    ValidationIssue(
+                        "nonfinite_timestamp",
+                        thread.thread_id,
+                        f"post {post.post_id} at t={post.timestamp}",
+                    )
+                )
+            if not math.isfinite(float(post.votes)):
+                report.issues.append(
+                    ValidationIssue(
+                        "nonfinite_votes",
+                        thread.thread_id,
+                        f"post {post.post_id} has votes={post.votes}",
                     )
                 )
             if not post.body.strip():

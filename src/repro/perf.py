@@ -107,6 +107,21 @@ class PerfRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def counters_with_prefix(self, prefix: str) -> dict[str, int]:
+        """All counters whose name starts with ``prefix``.
+
+        The resilience layer namespaces its counters under
+        ``resilience.`` (faults injected, events repaired/quarantined,
+        refit retries/fallbacks); this gives operators the whole family
+        in one call.
+        """
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
+
     def samples(self, name: str) -> list[float]:
         """Per-call durations of one stage in recording order.
 

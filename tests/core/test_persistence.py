@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.persistence import load_predictor, save_predictor
+from repro.core.persistence import (
+    CheckpointCorruptError,
+    load_checkpoint,
+    load_predictor,
+    save_predictor,
+    write_checkpoint,
+)
 from repro.core.pipeline import ForumPredictor
 
 
@@ -102,6 +108,79 @@ class TestWindowFingerprint:
         save_predictor(fitted, path)
         loaded = load_predictor(path, dataset)
         assert loaded.extractor.window_fingerprint == dataset.fingerprint()
+
+
+class TestCrashConsistentCheckpoint:
+    """write_checkpoint rotates generations; load_checkpoint verifies
+    the digest and falls back to the previous snapshot on corruption."""
+
+    @pytest.fixture()
+    def checkpointed(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        write_checkpoint(fitted, path)
+        write_checkpoint(fitted, path)  # second generation -> .prev exists
+        return path
+
+    def test_save_leaves_no_temp_files(self, fitted, dataset, tmp_path):
+        path = tmp_path / "model.npz"
+        save_predictor(fitted, path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["model.npz"]
+
+    def test_rotation_keeps_both_generations(self, checkpointed):
+        names = sorted(p.name for p in checkpointed.parent.iterdir())
+        assert names == [
+            "model.manifest.json",
+            "model.npz",
+            "model.prev.manifest.json",
+            "model.prev.npz",
+        ]
+
+    def test_clean_load_uses_current(self, checkpointed, dataset):
+        result = load_checkpoint(checkpointed, dataset)
+        assert not result.fallback_used
+        assert result.diagnostic == ""
+        assert result.predictor.extractor is not None
+
+    def test_torn_write_falls_back_to_previous(self, checkpointed, dataset):
+        data = checkpointed.read_bytes()
+        checkpointed.write_bytes(data[: len(data) // 2])  # torn write
+        result = load_checkpoint(checkpointed, dataset)
+        assert result.fallback_used
+        assert "previous snapshot" in result.diagnostic
+        user = next(iter(dataset.answerers))
+        prediction = result.predictor.predict(user, dataset.threads[0])
+        assert np.isfinite(prediction.answer_probability)
+
+    def test_digest_mismatch_detected(self, checkpointed, dataset):
+        # Same-size bit flip: only the content digest can catch it.
+        data = bytearray(checkpointed.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        checkpointed.write_bytes(bytes(data))
+        result = load_checkpoint(checkpointed, dataset)
+        assert result.fallback_used
+
+    def test_both_generations_corrupt_raises(self, checkpointed, dataset):
+        checkpointed.write_bytes(b"garbage")
+        prev = checkpointed.with_name("model.prev.npz")
+        prev.write_bytes(b"garbage")
+        with pytest.raises(CheckpointCorruptError, match="no loadable"):
+            load_checkpoint(checkpointed, dataset)
+
+    def test_window_mismatch_not_swallowed(self, checkpointed, dataset):
+        from repro.core.persistence import WindowMismatchError
+
+        truncated = dataset.subset(
+            t.thread_id for t in dataset.threads[: len(dataset) - 3]
+        )
+        with pytest.raises(WindowMismatchError):
+            load_checkpoint(checkpointed, truncated)
+
+    def test_single_generation_torn_raises(self, fitted, dataset, tmp_path):
+        path = tmp_path / "model.npz"
+        write_checkpoint(fitted, path)  # no .prev yet
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path, dataset)
 
 
 def _downgrade_to_v1(path):

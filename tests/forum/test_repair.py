@@ -76,3 +76,82 @@ class TestRepair:
         twice, report = repair_dataset(once)
         assert twice.num_answers == once.num_answers
         assert report == type(report)(0, 0, 0, 0)
+
+
+class TestOrderIndependence:
+    """Duplicate resolution must not depend on thread iteration order.
+
+    ``ForumDataset`` sorts by ``created_at``, so order-dependence can
+    only show through timestamp ties — exactly the case these threads
+    construct (two threads created at the same instant sharing an
+    answer post id).
+    """
+
+    def tied_threads(self):
+        t0 = Thread(
+            question=post(0, 0, 1, 10.0, question=True),
+            answers=[post(5, 0, 2, 12.0)],
+        )
+        t1 = Thread(
+            question=post(10, 1, 3, 10.0, question=True),  # tied created_at
+            answers=[post(5, 1, 4, 11.0)],  # same answer post id as t0's
+        )
+        return t0, t1
+
+    def test_shuffled_input_same_result(self):
+        t0, t1 = self.tied_threads()
+        a, report_a = repair_dataset(ForumDataset([t0, t1]))
+        b, report_b = repair_dataset(ForumDataset([t1, t0]))
+        assert report_a == report_b
+        surviving_a = {p.post_id for t in a for p in t.posts}
+        surviving_b = {p.post_id for t in b for p in t.posts}
+        assert surviving_a == surviving_b
+
+    def test_winner_chosen_by_timestamp_not_position(self):
+        t0, t1 = self.tied_threads()
+        for ordering in ([t0, t1], [t1, t0]):
+            repaired, _ = repair_dataset(ForumDataset(ordering))
+            # t1's occurrence of post 5 is earlier (11.0 < 12.0), so it
+            # must win regardless of which thread is seen first.
+            assert repaired.thread(1).answers[0].post_id == 5
+            assert repaired.thread(0).answers == []
+
+    def test_tied_question_ids_resolved_by_timestamp(self):
+        early = Thread(question=post(0, 0, 1, 5.0, question=True))
+        late = Thread(question=post(0, 1, 2, 9.0, question=True))
+        for ordering in ([early, late], [late, early]):
+            repaired, report = repair_dataset(ForumDataset(ordering))
+            assert [t.thread_id for t in repaired] == [0]
+            assert report.threads_dropped_duplicate_question_id == 1
+
+
+class TestNonFiniteRepair:
+    def test_nan_question_time_drops_thread(self):
+        ok = Thread(question=post(0, 0, 1, 5.0, question=True))
+        broken = Thread(
+            question=post(10, 1, 2, float("nan"), question=True),
+            answers=[post(11, 1, 3, 6.0)],
+        )
+        repaired, report = repair_dataset(ForumDataset([ok, broken]))
+        assert [t.thread_id for t in repaired] == [0]
+        assert report.threads_dropped_nonfinite_time == 1
+
+    def test_nan_answer_time_dropped(self):
+        thread = Thread(
+            question=post(0, 0, 1, 5.0, question=True),
+            answers=[post(1, 0, 2, float("nan")), post(2, 0, 3, 6.0)],
+        )
+        repaired, report = repair_dataset(ForumDataset([thread]))
+        assert [a.post_id for a in repaired.thread(0).answers] == [2]
+        assert report.answers_dropped_nonfinite_time == 1
+
+    def test_nan_votes_coerced_to_zero(self):
+        thread = Thread(
+            question=Post(0, 0, 1, 5.0, float("nan"), "<p>x</p>", True),
+            answers=[Post(1, 0, 2, 6.0, float("inf"), "<p>x</p>", False)],
+        )
+        repaired, report = repair_dataset(ForumDataset([thread]))
+        assert repaired.thread(0).question.votes == 0
+        assert repaired.thread(0).answers[0].votes == 0
+        assert report.votes_coerced == 2
+        assert validate_dataset(repaired).ok

@@ -121,6 +121,54 @@ class TestTrainAndRoute:
         assert code == 1
 
 
+class TestReplayFaults:
+    def test_fault_spec_parsed(self):
+        from repro.cli import _parse_fault_plan
+
+        plan = _parse_fault_plan("seed=7,dup=0.05,ooo=0.1,nan=0.02")
+        assert plan.seed == 7
+        assert plan.duplicate_rate == 0.05
+        assert plan.out_of_order_rate == 0.1
+        assert plan.missing_field_rate == 0.02
+        assert plan.truncate_rate == 0.0
+
+    def test_bad_fault_spec_rejected(self):
+        from repro.cli import _parse_fault_plan
+
+        with pytest.raises(ValueError, match="bad --faults entry"):
+            _parse_fault_plan("seed=7,bogus=1")
+
+    def test_bad_spec_exits_with_usage_error(self, dataset_path, capsys):
+        code = main(
+            [
+                "replay",
+                "--input", str(dataset_path),
+                "--faults", "nonsense",
+            ]
+        )
+        assert code == 2
+        assert "faults" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_faulted_replay_prints_degradation(self, dataset_path, capsys):
+        code = main(
+            [
+                "replay",
+                "--input", str(dataset_path),
+                "--topics", "2",
+                "--betweenness-samples", "50",
+                "--refit-interval", "96",
+                "--window", "360",
+                "--warmup", "96",
+                "--faults", "seed=7,dup=0.1,ooo=0.1,nan=0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "degradation:" in out
+        assert "faults injected:" in out
+
+
 @pytest.mark.slow
 class TestEvaluate:
     def test_prints_table(self, dataset_path, capsys):

@@ -1,13 +1,18 @@
 """Property-based tests of cross-module invariants (hypothesis)."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import PredictorConfig, build_extractor
+from repro.core.resilience import FaultInjector, FaultPlan, StreamGuard
 from repro.core.routing import solve_routing_lp
 from repro.forum import ForumConfig, generate_forum
+from repro.forum.dataset import ForumDataset
+from repro.forum.repair import repair_dataset
 
 FAST = PredictorConfig(n_topics=2, betweenness_sample_size=30)
 
@@ -128,6 +133,122 @@ class TestRoutingLPProperties:
         assert p.sum() == pytest.approx(1.0, abs=1e-9)
         assert np.all(p >= 0.0)
         assert np.all(p <= caps + 1e-12)
+
+
+@st.composite
+def fault_plans(draw):
+    return FaultPlan(
+        seed=draw(st.integers(0, 1000)),
+        out_of_order_rate=draw(st.floats(0.0, 0.5)),
+        duplicate_rate=draw(st.floats(0.0, 0.5)),
+        missing_field_rate=draw(st.floats(0.0, 0.5)),
+        clock_skew_rate=draw(st.floats(0.0, 0.5)),
+        truncate_rate=draw(st.floats(0.0, 0.5)),
+        max_delay_slots=draw(st.integers(1, 6)),
+    )
+
+
+class TestResilienceProperties:
+    """Injector round-trip invariants: whatever the plan, the guarded
+    stream satisfies every invariant featurization relies on."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(fault_plans(), st.integers(0, 200))
+    def test_event_count_conservation(self, plan, seed):
+        forum = generate_forum(
+            ForumConfig(n_users=50, n_questions=45), seed=seed
+        )
+        clean, _ = forum.dataset.preprocess()
+        injector = FaultInjector(plan)
+        stream = injector.perturb(clean)
+        duplicates = injector.injected_counts().get("duplicate", 0)
+        # Duplication is the only fault that changes the event count.
+        assert len(stream) == len(clean) + duplicates
+        guard = StreamGuard()
+        admitted = [
+            repaired
+            for repaired in (guard.admit(t) for t in stream)
+            if repaired is not None
+        ]
+        not_admitted = guard.report.count("quarantined") + guard.report.count(
+            "dropped"
+        )
+        assert len(admitted) + not_admitted == len(stream)
+
+    @settings(max_examples=15, deadline=None)
+    @given(fault_plans(), st.integers(0, 200))
+    def test_guarded_stream_is_monotone_and_finite(self, plan, seed):
+        forum = generate_forum(
+            ForumConfig(n_users=50, n_questions=45), seed=seed
+        )
+        clean, _ = forum.dataset.preprocess()
+        stream = FaultInjector(plan).perturb(clean)
+        guard = StreamGuard()
+        last = float("-inf")
+        seen_posts = set()
+        for event in stream:
+            admitted = guard.admit(event)
+            if admitted is None:
+                continue
+            assert admitted.created_at >= last
+            last = admitted.created_at
+            for p in admitted.posts:
+                assert math.isfinite(p.timestamp)
+                assert math.isfinite(float(p.votes))
+                assert p.post_id not in seen_posts
+                seen_posts.add(p.post_id)
+            for a in admitted.answers:
+                assert a.timestamp >= admitted.created_at
+                assert a.author != admitted.asker
+
+    @settings(max_examples=3, deadline=None)
+    @given(st.integers(0, 100))
+    def test_no_nans_reach_feature_matrix(self, seed):
+        plan = FaultPlan(
+            seed=seed,
+            missing_field_rate=0.4,
+            clock_skew_rate=0.3,
+            truncate_rate=0.2,
+        )
+        forum = generate_forum(
+            ForumConfig(n_users=60, n_questions=60), seed=seed
+        )
+        clean, _ = forum.dataset.preprocess()
+        stream = FaultInjector(plan).perturb(clean)
+        guard = StreamGuard()
+        admitted = [
+            repaired
+            for repaired in (guard.admit(t) for t in stream)
+            if repaired is not None
+        ]
+        guarded = ForumDataset(admitted)
+        if len(guarded) < 10 or guarded.num_answers < 5:
+            return
+        extractor = build_extractor(guarded, FAST)
+        pairs = [
+            (u, t)
+            for u in list(guarded.answerers)[:4]
+            for t in guarded.threads[:5]
+        ]
+        x = extractor.feature_matrix(pairs)
+        assert np.all(np.isfinite(x))
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 500))
+    def test_repair_is_order_independent(self, seed):
+        forum = generate_forum(
+            ForumConfig(n_users=40, n_questions=35), seed=seed
+        )
+        raw = forum.dataset
+        rng = np.random.default_rng(seed)
+        shuffled = list(raw.threads)
+        rng.shuffle(shuffled)
+        a, _ = repair_dataset(raw)
+        b, _ = repair_dataset(ForumDataset(shuffled))
+        assert a.fingerprint() == b.fingerprint()
+        assert {
+            p.post_id for t in a for p in t.posts
+        } == {p.post_id for t in b for p in t.posts}
 
 
 class TestGeneratorOutcomeFunctions:
