@@ -49,8 +49,24 @@ class MatrixFactorization:
         self.col_factors_: np.ndarray | None = None
         self.loss_history_: list[float] = []
 
-    def fit(self, rows, cols, values) -> "MatrixFactorization":
-        """Fit on observed entries given as parallel index/value arrays."""
+    def fit(
+        self,
+        rows,
+        cols,
+        values,
+        *,
+        row_bias_init=None,
+        col_bias_init=None,
+        row_factors_init=None,
+        col_factors_init=None,
+    ) -> "MatrixFactorization":
+        """Fit on observed entries given as parallel index/value arrays.
+
+        The ``*_init`` arrays warm-start the corresponding parameters
+        (shape-checked copies); omitted ones keep the seeded random
+        initialization, which is drawn identically either way so a
+        warm-started fit stays deterministic under the same seed.
+        """
         rows = np.asarray(rows, dtype=int)
         cols = np.asarray(cols, dtype=int)
         values = np.asarray(values, dtype=float)
@@ -69,6 +85,19 @@ class MatrixFactorization:
         col_bias = np.zeros(self.n_cols)
         row_factors = rng.normal(0.0, 0.05, size=(self.n_rows, self.n_factors))
         col_factors = rng.normal(0.0, 0.05, size=(self.n_cols, self.n_factors))
+        for target, init in (
+            (row_bias, row_bias_init),
+            (col_bias, col_bias_init),
+            (row_factors, row_factors_init),
+            (col_factors, col_factors_init),
+        ):
+            if init is not None:
+                init = np.asarray(init, dtype=float)
+                if init.shape != target.shape:
+                    raise ValueError(
+                        f"warm-start shape {init.shape} != {target.shape}"
+                    )
+                target[...] = init
         params = [row_bias, col_bias, row_factors, col_factors]
         opt = Adam(learning_rate=self.learning_rate)
         self.loss_history_ = []

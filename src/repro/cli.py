@@ -26,6 +26,7 @@ from .core import (
     PredictorConfig,
     QuestionRouter,
     ResilienceConfig,
+    RetrievalConfig,
     run_table1,
 )
 from .core.persistence import load_predictor, save_predictor
@@ -112,6 +113,21 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--window", type=float, default=480.0)
     replay.add_argument("--warmup", type=float, default=120.0)
     replay.add_argument("--top-k", type=int, default=5)
+    replay.add_argument(
+        "--two-stage",
+        action="store_true",
+        help="route through two-stage candidate retrieval (topic inverted "
+        "index + recency + MF embeddings, rank-fusion pool) instead of "
+        "scoring every candidate",
+    )
+    replay.add_argument(
+        "--retrieval-top-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="per-generator candidate budget for --two-stage "
+        "(default: RetrievalConfig defaults)",
+    )
     replay.add_argument(
         "--perf", action="store_true", help="print the stage-timer report"
     )
@@ -266,6 +282,17 @@ def _cmd_replay(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     dataset = load_dataset(args.input)
+    retrieval = None
+    if args.two_stage:
+        overrides = {"seed": args.seed}
+        if args.retrieval_top_k is not None:
+            overrides.update(
+                topic_top_k=args.retrieval_top_k,
+                recency_top_k=args.retrieval_top_k,
+                mf_top_k=args.retrieval_top_k,
+                pool_size=2 * args.retrieval_top_k,
+            )
+        retrieval = RetrievalConfig(**overrides)
     online = OnlineConfig(
         refit_interval_hours=args.refit_interval,
         window_hours=args.window,
@@ -273,6 +300,7 @@ def _cmd_replay(args) -> int:
         top_k=args.top_k,
         refit_strategy=args.strategy,
         warm_start=not args.cold_start,
+        retrieval=retrieval,
     )
     resilience = ResilienceConfig() if fault_plan is not None else None
     loop = OnlineRecommendationLoop(_config_from_args(args), online, resilience)
@@ -287,6 +315,16 @@ def _cmd_replay(args) -> int:
         f"refit time: {refit.total_seconds:.2f}s total, "
         f"{refit.mean_seconds:.2f}s mean over {refit.calls} refits"
     )
+    if args.two_stage:
+        queries = registry.counter("retrieval.queries")
+        pooled = registry.counter("retrieval.pool_users")
+        fallbacks = registry.counter("retrieval.dense_fallbacks")
+        mean_pool = pooled / queries if queries else 0.0
+        print(
+            f"retrieval: {queries} pool queries, "
+            f"{mean_pool:.1f} candidates/pool mean, "
+            f"{fallbacks} dense fallbacks"
+        )
     if report.rankings:
         print(
             f"hit@1 {report.hit_rate_at_1:.4f}  "

@@ -44,7 +44,18 @@ from .resilience import (
     ResilienceConfig,
     StreamGuard,
 )
-from .routing import QuestionRouter, RoutingResult, solve_routing_lp
+from .retrieval import (
+    CandidateRetriever,
+    RetrievalConfig,
+    candidate_recall,
+    reciprocal_rank_fusion,
+)
+from .routing import (
+    QuestionRouter,
+    RoutingResult,
+    UserLoadTracker,
+    solve_routing_lp,
+)
 from .state import ForumState, FrozenState
 from .timing_model import TimingModel
 from .tradeoff import (
@@ -106,8 +117,13 @@ __all__ = [
     "ForumPredictor",
     "Prediction",
     "PredictorConfig",
+    "CandidateRetriever",
+    "RetrievalConfig",
+    "candidate_recall",
+    "reciprocal_rank_fusion",
     "QuestionRouter",
     "RoutingResult",
+    "UserLoadTracker",
     "solve_routing_lp",
     "ForumState",
     "FrozenState",

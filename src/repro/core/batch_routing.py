@@ -13,6 +13,14 @@ solved exactly with ``scipy.optimize.linprog`` (HiGHS).  A greedy
 fallback (questions routed one at a time, capacity decremented) is
 provided for comparison — the LP's advantage over greedy is exactly the
 value of coordinating the batch.
+
+When the router carries a two-stage
+:class:`~repro.core.retrieval.CandidateRetriever`, the shared candidate
+axis shrinks to the union of the per-question retrieval pools before
+the score matrix is built — the LP cost is quadratic in that axis, so
+the pool bound pays off twice.  An infeasible pooled batch retries
+against the full candidate set when the config's ``dense_fallback``
+is set.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 from scipy.optimize import linprog
 
+from .. import perf
 from ..forum.models import Thread
 from .routing import QuestionRouter, solve_routing_lp
 
@@ -71,6 +80,24 @@ def _score_matrix(
     return scores, eligible
 
 
+def _pooled_axis(
+    router: QuestionRouter, threads: list[Thread], candidates: list[int]
+) -> list[int]:
+    """Union of the per-question retrieval pools, ascending user ids."""
+    union: np.ndarray | None = None
+    for thread in threads:
+        pool = router.candidate_pool(thread, candidates)
+        union = pool if union is None else np.union1d(union, pool)
+    return [int(u) for u in union] if union is not None else []
+
+
+def _two_stage(router: QuestionRouter) -> bool:
+    return (
+        router.retriever is not None
+        and router.retriever.config.mode == "two_stage"
+    )
+
+
 def route_batch(
     router: QuestionRouter,
     threads: list[Thread],
@@ -86,6 +113,30 @@ def route_batch(
     """
     if not threads or not candidates:
         raise ValueError("need non-empty threads and candidates")
+    if _two_stage(router):
+        pooled = _pooled_axis(router, threads, candidates)
+        result = (
+            _route_batch_dense(
+                router, threads, pooled, tradeoff, capacities
+            )
+            if pooled
+            else None
+        )
+        if result is not None or not router.retriever.config.dense_fallback:
+            return result
+        if len(pooled) == len(candidates):
+            return None
+        perf.incr("retrieval.dense_fallbacks")
+    return _route_batch_dense(router, threads, candidates, tradeoff, capacities)
+
+
+def _route_batch_dense(
+    router: QuestionRouter,
+    threads: list[Thread],
+    candidates: list[int],
+    tradeoff: float,
+    capacities: dict[int, float] | None,
+) -> BatchAssignment | None:
     capacities = capacities or {}
     caps = np.array(
         [capacities.get(int(u), router.default_capacity) for u in candidates]
@@ -144,6 +195,32 @@ def route_batch_greedy(
     """
     if not threads or not candidates:
         raise ValueError("need non-empty threads and candidates")
+    if _two_stage(router):
+        pooled = _pooled_axis(router, threads, candidates)
+        result = (
+            _route_batch_greedy_dense(
+                router, threads, pooled, tradeoff, capacities
+            )
+            if pooled
+            else None
+        )
+        if result is not None or not router.retriever.config.dense_fallback:
+            return result
+        if len(pooled) == len(candidates):
+            return None
+        perf.incr("retrieval.dense_fallbacks")
+    return _route_batch_greedy_dense(
+        router, threads, candidates, tradeoff, capacities
+    )
+
+
+def _route_batch_greedy_dense(
+    router: QuestionRouter,
+    threads: list[Thread],
+    candidates: list[int],
+    tradeoff: float,
+    capacities: dict[int, float] | None,
+) -> BatchAssignment | None:
     capacities = capacities or {}
     remaining = {
         int(u): capacities.get(int(u), router.default_capacity)

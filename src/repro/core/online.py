@@ -70,7 +70,8 @@ from .resilience import (
     ResilienceConfig,
     StreamGuard,
 )
-from .routing import QuestionRouter
+from .retrieval import CandidateRetriever, RetrievalConfig
+from .routing import QuestionRouter, UserLoadTracker
 from .state import ForumState
 
 __all__ = ["OnlineConfig", "OnlineReport", "OnlineRecommendationLoop"]
@@ -97,6 +98,14 @@ class OnlineConfig:
     # Worker processes for the three per-task model fits inside each
     # refit; None defers to REPRO_N_JOBS (default serial).
     n_jobs: int | None = None
+    # Two-stage candidate retrieval for the routing/ranking hot path;
+    # None keeps the dense score-every-candidate behaviour.
+    retrieval: RetrievalConfig | None = None
+    # Maintain an incremental per-user answer-load counter and enforce
+    # it as remaining capacity in every LP (previously the online loop
+    # routed without load constraints).
+    track_load: bool = True
+    load_window_hours: float = 24.0
 
     def __post_init__(self):
         if self.refit_interval_hours <= 0 or self.window_hours <= 0:
@@ -114,6 +123,8 @@ class OnlineConfig:
                 "incremental refits require warm_start: the state embeds "
                 "topic vectors, so the topic model cannot be refit cold"
             )
+        if self.load_window_hours <= 0:
+            raise ValueError("load_window_hours must be positive")
 
 
 @dataclass
@@ -178,6 +189,11 @@ class OnlineRecommendationLoop:
         self._state: ForumState | None = None
         self._router: QuestionRouter | None = None
         self._candidates: list[int] = []
+        # Shared across refit strategies: the retriever persists so its
+        # indices refresh (and MF warm-starts) instead of rebuilding,
+        # and the load tracker accumulates the replayed answer events.
+        self._retriever: CandidateRetriever | None = None
+        self._load = UserLoadTracker(self.online_config.load_window_hours)
         # Resilient-path bookkeeping: the last window that refit cleanly
         # (the fallback snapshot) and the consecutive-failure count that
         # drives the schedule-level backoff.
@@ -230,8 +246,36 @@ class OnlineRecommendationLoop:
             self._predictor,
             epsilon=cfg.epsilon,
             default_capacity=cfg.default_capacity,
+            load_window_hours=cfg.load_window_hours,
+            retriever=self._bind_retriever(),
+            load_tracker=self._load if cfg.track_load else None,
         )
         self._candidates = sorted(candidates)
+
+    def _bind_retriever(self) -> CandidateRetriever | None:
+        """Build or refresh the candidate indices after a refit.
+
+        The retriever outlives individual refits: the topic index is
+        diffed row-wise against the new frozen tables, the MF embedding
+        warm-starts from its previous factors, and (on the incremental
+        arm) the recency index rides the state's append/evict events.
+        """
+        cfg = self.online_config
+        if cfg.retrieval is None or cfg.retrieval.mode != "two_stage":
+            return None
+        if self._retriever is None:
+            self._retriever = CandidateRetriever(
+                cfg.retrieval, self._predictor.topics
+            )
+        else:
+            self._retriever.topics = self._predictor.topics
+        if self._state is not None:
+            self._retriever.attach(self._state)
+        else:
+            self._retriever.detach()
+        extractor = self._predictor.extractor
+        self._retriever.refresh(extractor.frozen, extractor.window)
+        return self._retriever
 
     def run(
         self, dataset: ForumDataset, fault_plan: FaultPlan | None = None
@@ -267,6 +311,8 @@ class OnlineRecommendationLoop:
             self._route(thread, now, report)
             # Fold the thread into the live window only after it has
             # been routed — it must not inform its own recommendation.
+            if cfg.track_load:
+                self._load.observe_thread(thread)
             if self._state is not None:
                 self._state.append(thread)
         return report
@@ -325,6 +371,8 @@ class OnlineRecommendationLoop:
                 while next_refit <= now:
                     next_refit += cfg.refit_interval_hours
             self._route(thread, now, report, degradation)
+            if cfg.track_load:
+                self._load.observe_thread(thread)
             if self._state is not None:
                 if thread.created_at >= self._state.last_created:
                     self._state.append(thread)
@@ -443,13 +491,25 @@ class OnlineRecommendationLoop:
         candidates = [u for u in self._candidates if u != thread.asker]
         if not candidates:
             return
+        # Two-stage retrieval: one pool per question, shared by the
+        # ranking and the LP; dense mode scores every candidate.
+        pool = None
+        rank_candidates = candidates
+        if self._router.retriever is not None:
+            pool = self._router.candidate_pool(thread, candidates)
+            if pool.size:
+                rank_candidates = [int(u) for u in pool]
+            elif not self._router.retriever.config.dense_fallback:
+                return
+            # Empty pool with fallback enabled: rank densely here and
+            # let recommend() take its own dense retry on the same pool.
         # Who-will-answer ranking: candidates by predicted a_uq
         # (batch-featurized across the whole candidate set).
         with perf.timer("online.rank"):
             predictions = self._router.predictor.predict_batch(
-                [(u, thread) for u in candidates]
+                [(u, thread) for u in rank_candidates]
             )
-        perf.incr("online.candidate_pairs", len(candidates))
+        perf.incr("online.candidate_pairs", len(rank_candidates))
         scores = predictions["answer"]
         if degradation is not None:
             bad = ~np.isfinite(scores)
@@ -460,14 +520,15 @@ class OnlineRecommendationLoop:
                 )
                 scores = np.where(bad, -np.inf, scores)
         order = np.argsort(-scores, kind="stable")
-        ranked = [candidates[i] for i in order[: cfg.top_k]]
+        ranked = [rank_candidates[i] for i in order[: cfg.top_k]]
         actual = set(thread.answerers)
         if actual:
             report.rankings.append((ranked, actual))
-        # Routing pick: the Sec.-V LP over the eligible set.
+        # Routing pick: the Sec.-V LP over the eligible set (the pool,
+        # when two-stage retrieval already narrowed it).
         with perf.timer("online.route"):
             result = self._router.recommend(
-                thread, candidates, tradeoff=cfg.tradeoff
+                thread, candidates, tradeoff=cfg.tradeoff, pool=pool
             )
         if result is None:
             return

@@ -1,0 +1,28 @@
+"""Sublinear two-stage candidate retrieval for question routing.
+
+Cheap seeded candidate generators (topic inverted index, active-user
+recency index, MF latent-factor embeddings) feed a rank-fused, bounded
+candidate pool to the exact Sec.-V LP instead of scoring every user
+densely.  See :mod:`repro.core.retrieval.engine` for the semantics and
+``docs/architecture.md`` for the design.
+"""
+
+from .config import RetrievalConfig
+from .engine import CandidateRetriever, candidate_recall, reciprocal_rank_fusion
+from .indices import (
+    MFEmbeddingIndex,
+    RecencyIndex,
+    TopicInvertedIndex,
+    top_k_by_score,
+)
+
+__all__ = [
+    "RetrievalConfig",
+    "CandidateRetriever",
+    "candidate_recall",
+    "reciprocal_rank_fusion",
+    "MFEmbeddingIndex",
+    "RecencyIndex",
+    "TopicInvertedIndex",
+    "top_k_by_score",
+]

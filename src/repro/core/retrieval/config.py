@@ -1,0 +1,86 @@
+"""Configuration of the two-stage candidate retrieval subsystem.
+
+``RetrievalConfig`` selects between the original ``"dense"`` routing
+path (score every candidate with the full predictor before the Sec.-V
+LP) and the ``"two_stage"`` retrieve-then-rank path (cheap seeded
+candidate generators feed a bounded pool to the exact LP).  Every
+per-generator budget accepts ``None`` meaning "all users", which is the
+configuration under which the two-stage path is bit-identical to dense
+routing — the equivalence the tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetrievalConfig"]
+
+
+@dataclass(frozen=True)
+class RetrievalConfig:
+    """Knobs of the retrieve-then-rank candidate pipeline.
+
+    ``None`` for any top-K (or for ``pool_size``) means "no truncation";
+    with every budget at ``None`` the pool is the full candidate set and
+    two-stage routing degenerates to the dense path exactly.
+    """
+
+    mode: str = "two_stage"  # or "dense"
+    # Per-generator budgets: how many users each generator nominates.
+    # The defaults are sized for the Tier-1 bench forum (>= 0.95 recall
+    # of the dense eligible set); budgets are capacity knobs — scale
+    # them with the answerer population and recall target (see
+    # benchmarks/bench_retrieval.py for the measured trade-off).
+    topic_top_k: int | None = 192
+    recency_top_k: int | None = 192
+    mf_top_k: int | None = 192
+    # Bound on the fused candidate pool handed to the LP stage.
+    pool_size: int | None = 384
+    # Reciprocal-rank-fusion constant: fused(u) = sum_g 1 / (rrf_k + rank).
+    rrf_k: float = 60.0
+    # How many of the question's strongest topics the inverted index
+    # expands; the union of their postings is then scored exactly.
+    query_topics: int = 4
+    # Matrix-factorization embedding generator (baselines/mf.py).
+    use_mf: bool = True
+    mf_factors: int = 5
+    mf_iters: int = 120
+    mf_l2: float = 0.05
+    mf_learning_rate: float = 0.05
+    # Retry an infeasible/empty two-stage LP against the full candidate
+    # set instead of returning no recommendation.
+    dense_fallback: bool = True
+    # Worker processes for index builds (None defers to REPRO_N_JOBS).
+    n_jobs: int | None = None
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.mode not in ("dense", "two_stage"):
+            raise ValueError("mode must be 'dense' or 'two_stage'")
+        for name in ("topic_top_k", "recency_top_k", "mf_top_k", "pool_size"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1 or None")
+        if self.rrf_k <= 0:
+            raise ValueError("rrf_k must be positive")
+        if self.query_topics < 1:
+            raise ValueError("query_topics must be >= 1")
+        if self.mf_factors < 1 or self.mf_iters < 1:
+            raise ValueError("mf_factors and mf_iters must be >= 1")
+
+    @classmethod
+    def exhaustive(cls, **overrides) -> "RetrievalConfig":
+        """A two-stage config with every budget unbounded (top-K = all).
+
+        Under this config the fused pool is the entire candidate set,
+        so routing decisions are bit-identical to the dense path — the
+        anchor for the equivalence tests.
+        """
+        return cls(
+            mode="two_stage",
+            topic_top_k=None,
+            recency_top_k=None,
+            mf_top_k=None,
+            pool_size=None,
+            **overrides,
+        )

@@ -202,6 +202,11 @@ class ForumState:
         self._centralities: tuple[dict, dict, dict, dict] | None = None
         self._frozen: FrozenState | None = None
         self._frozen_key: tuple | None = None
+        # Mutation listeners (candidate indices, monitors): objects with
+        # ``on_append(thread)`` / ``on_evict(thread)`` hooks, notified
+        # after each delta so derived structures update incrementally
+        # instead of rebuilding from the window.
+        self._listeners: list = []
 
     @classmethod
     def from_dataset(
@@ -256,6 +261,17 @@ class ForumState:
         """Digest of the held (thread_id, created_at) pairs."""
         return fingerprint_threads(self._threads.values())
 
+    # -- listeners ------------------------------------------------------------
+
+    def add_listener(self, listener) -> None:
+        """Register for ``on_append``/``on_evict`` mutation callbacks."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener) -> None:
+        if listener in self._listeners:
+            self._listeners.remove(listener)
+
     # -- mutation -------------------------------------------------------------
 
     def append(self, thread: Thread) -> None:
@@ -302,6 +318,8 @@ class ForumState:
             self._qa.add_thread(asker, answerers)
             self._dense.add_thread(asker, answerers)
             self._frozen = None
+        for listener in self._listeners:
+            listener.on_append(thread)
         perf.incr("state.threads_appended")
 
     def evict(self, before_hours: float) -> int:
@@ -316,6 +334,9 @@ class ForumState:
                 self._remove_thread(thread)
             if stale:
                 self._frozen = None
+        for thread in stale:
+            for listener in self._listeners:
+                listener.on_evict(thread)
         perf.incr("state.threads_evicted", len(stale))
         return len(stale)
 
