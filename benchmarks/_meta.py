@@ -1,0 +1,79 @@
+"""Shared JSON schema header for every ``BENCH_*.json`` record.
+
+Benchmark outputs are compared across commits and across machines;
+without a provenance header a regression is indistinguishable from a
+hardware change.  Every writer routes through :func:`write_bench` or
+:func:`record_bench`, which stamp a common ``meta`` block: schema
+version, seed, git revision, interpreter/numpy versions, platform and
+CPU count.
+
+Named ``_meta`` (not ``bench_meta``) so pytest's ``bench_*`` collection
+glob never picks it up as a test module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+BENCH_SCHEMA_VERSION = 1
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return "unknown"
+
+
+def bench_meta(seed: int = 0) -> dict:
+    """The provenance header shared by every benchmark record."""
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "seed": seed,
+        "git_rev": _git_rev(),
+        "generated_at": datetime.now(timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "bench_scale": os.environ.get("BENCH_SCALE", "default") or "default",
+    }
+
+
+def write_bench(path: Path, record: dict, *, seed: int = 0) -> None:
+    """Write a whole benchmark record, header first."""
+    stamped = {"meta": bench_meta(seed)}
+    stamped.update(record)
+    path.write_text(json.dumps(stamped, indent=2) + "\n")
+
+
+def record_bench(path: Path, section: str, payload: dict, *, seed: int = 0) -> None:
+    """Read-modify-write one section of a shared record, restamping meta.
+
+    The header reflects the *latest* writer; sections written by earlier
+    runs survive untouched, so partial re-runs stay comparable.
+    """
+    record = {}
+    if path.exists():
+        record = json.loads(path.read_text())
+    record.pop("meta", None)
+    record[section] = payload
+    write_bench(path, record, seed=seed)

@@ -7,12 +7,12 @@ speedup and its element-wise equivalence, and records the measurement
 in ``BENCH_features.json`` at the repo root.
 """
 
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 
+from _meta import write_bench
 from conftest import FORUM_CONFIG
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_features.json"
@@ -73,7 +73,7 @@ def test_feature_matrix_speedup(benchmark, dataset, extractor):
         "speedup": round(speedup, 2),
         "pairs_per_second_batch": round(len(pairs) / batch_seconds),
     }
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench(RESULT_PATH, record)
     print(
         f"\nfeature_matrix: scalar {scalar_seconds * 1e3:.1f} ms, "
         f"batch {batch_seconds * 1e3:.1f} ms, {speedup:.1f}x "

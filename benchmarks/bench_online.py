@@ -19,12 +19,12 @@ topic and model-fit stages — is recorded in ``BENCH_online.json`` at
 the repo root.
 """
 
-import json
 import time
 from pathlib import Path
 
 import numpy as np
 
+from _meta import write_bench
 from conftest import FORUM_CONFIG
 
 from repro import perf
@@ -165,7 +165,7 @@ def test_online_refit_speedup(benchmark, dataset, config):
         "precision_at_5": round(report.precision_at(5), 6),
         "mrr": round(report.mrr, 6),
     }
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench(RESULT_PATH, record)
     print("\nOnline deployment replay")
     print(f"  questions seen / routed: {report.n_questions_seen} / {report.n_routed}")
     print(f"  refits: {report.n_refits}")

@@ -16,7 +16,6 @@ Three measurements, recorded together in ``BENCH_retrieval.json``:
   quantifies what the bounded pool costs (or gains) end to end.
 """
 
-import json
 import time
 from pathlib import Path
 
@@ -25,6 +24,7 @@ import pytest
 
 from conftest import FORUM_CONFIG
 
+from _meta import record_bench
 from repro import perf
 from repro.core import (
     ForumPredictor,
@@ -65,11 +65,7 @@ SPEEDUP_FLOOR = 5.0
 
 def _merge_record(section: str, payload: dict) -> None:
     """Read-modify-write one section of the shared JSON record."""
-    record = {}
-    if RESULT_PATH.exists():
-        record = json.loads(RESULT_PATH.read_text())
-    record[section] = payload
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    record_bench(RESULT_PATH, section, payload)
 
 
 def _split_final_day(dataset):

@@ -15,11 +15,11 @@ breakdown and a Table-1 metric-parity check recorded in
 ``BENCH_training.json`` at the repo root.
 """
 
-import json
 import os
 from dataclasses import replace
 from pathlib import Path
 
+from _meta import write_bench
 from conftest import FORUM_CONFIG, N_FOLDS, N_REPEATS, PREDICTOR_CONFIG
 
 from repro import perf
@@ -124,7 +124,7 @@ def test_training_engine_speedup(benchmark, dataset, extractor, pairs):
         "train_speedup": round(speedup, 2),
         "table1_parity": parity,
     }
-    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    write_bench(RESULT_PATH, record)
     print("\nTraining engine")
     for arm, stages in (("reference", ref), ("fused", fused)):
         print(

@@ -8,7 +8,8 @@ Subcommands cover the library's end-to-end workflow:
 * ``evaluate``  — run the Table-I comparison on a dataset;
 * ``route``     — recommend answerers for a question with a saved model;
 * ``replay``    — stream a dataset through the online deployment loop;
-* ``validate``  — check a dataset file for integrity violations.
+* ``validate``  — check a dataset file for integrity violations;
+* ``scale``     — stream a large synthetic forum into sharded columnar logs.
 
 Usage: ``python -m repro <subcommand> ...`` (see ``--help`` per command).
 """
@@ -141,6 +142,24 @@ def build_parser() -> argparse.ArgumentParser:
         "(keys: seed, dup[licate], ooo/out_of_order, nan/missing, "
         "skew/clock_skew, skew_hours, trunc[ate], delay/max_delay)",
     )
+
+    scale = sub.add_parser(
+        "scale",
+        help="stream a synthetic forum into sharded columnar logs "
+        "(bounded memory; prints throughput and peak RSS)",
+    )
+    scale.add_argument("--users", type=int, default=100_000)
+    scale.add_argument("--questions", type=int, default=150_000)
+    scale.add_argument("--topics", type=int, default=8)
+    scale.add_argument("--days", type=float, default=30.0)
+    scale.add_argument("--shards", type=int, default=4)
+    scale.add_argument(
+        "--chunk-questions",
+        type=int,
+        default=50_000,
+        help="questions generated per streamed chunk (memory/throughput knob)",
+    )
+    scale.add_argument("--seed", type=int, default=0)
 
     route = sub.add_parser("route", help="recommend answerers for a question")
     route.add_argument("--input", type=Path, required=True)
@@ -348,6 +367,46 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _cmd_scale(args) -> int:
+    import time
+
+    from .forum.streaming import ingest_to_shards
+
+    config = ForumConfig(
+        n_users=args.users,
+        n_questions=args.questions,
+        n_topics=args.topics,
+        duration_days=args.days,
+    )
+    start = time.perf_counter()
+    logs, questions, report = ingest_to_shards(
+        config,
+        seed=args.seed,
+        n_shards=args.shards,
+        chunk_questions=args.chunk_questions,
+    )
+    seconds = time.perf_counter() - start
+    posts = report.n_questions + report.n_answers
+    print(
+        f"streamed {report.n_questions} questions + {report.n_answers} "
+        f"answers ({report.n_active_users} active of {report.n_users} "
+        f"users) in {seconds:.2f}s ({posts / seconds:.0f} posts/s)"
+    )
+    print(
+        f"columnar store: {questions.n_rows} question rows "
+        f"({report.question_bytes / 1024**2:.1f} MB), "
+        f"{sum(log.n_rows for log in logs)} answer rows across "
+        f"{args.shards} shards ({report.answer_bytes / 1024**2:.1f} MB)"
+    )
+    for shard, count in enumerate(report.answers_per_shard):
+        print(f"  shard {shard}: {count} answers")
+    print(
+        f"{report.n_chunks} chunks of <= {args.chunk_questions} questions; "
+        f"peak RSS {report.peak_rss_bytes / 1024**2:.0f} MB"
+    )
+    return 0
+
+
 def _cmd_route(args) -> int:
     dataset = load_dataset(args.input)
     if args.question_id not in dataset:
@@ -402,6 +461,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "route": _cmd_route,
     "replay": _cmd_replay,
+    "scale": _cmd_scale,
 }
 
 

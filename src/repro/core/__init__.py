@@ -4,6 +4,8 @@ from .abtest import ABTestConfig, ABTestResult, ABTestSimulator, GroupOutcome
 from .answer_model import AnswerModel
 from .batch_routing import BatchAssignment, route_batch, route_batch_greedy
 from .coldstart import ColdStartBucket, cold_start_report
+from .columnar import AnswerLog, EventStore
+from .dtypes import ID_DTYPE, TIME_DTYPE, VALUE_DTYPE, IdOverflowError
 from .explain import (
     FeatureContribution,
     PredictionExplanation,
@@ -54,8 +56,10 @@ from .routing import (
     QuestionRouter,
     RoutingResult,
     UserLoadTracker,
+    finish_recommendation,
     solve_routing_lp,
 )
+from .sharding import ShardedRouter, ShardPlan
 from .state import ForumState, FrozenState
 from .timing_model import TimingModel
 from .tradeoff import (
@@ -124,7 +128,16 @@ __all__ = [
     "QuestionRouter",
     "RoutingResult",
     "UserLoadTracker",
+    "finish_recommendation",
     "solve_routing_lp",
+    "AnswerLog",
+    "EventStore",
+    "ID_DTYPE",
+    "TIME_DTYPE",
+    "VALUE_DTYPE",
+    "IdOverflowError",
+    "ShardedRouter",
+    "ShardPlan",
     "ForumState",
     "FrozenState",
     "TimingModel",

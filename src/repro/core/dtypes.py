@@ -1,0 +1,79 @@
+"""Dtype policy for the columnar hot path.
+
+The columnar event store (:mod:`repro.core.columnar`) pins entity ids
+to ``int32`` and bounded per-event values (votes, word/code lengths) to
+``float32``:
+
+* **ids** — user, thread and question ids are external identifiers; the
+  store guarantees nothing about them beyond fitting in a signed 32-bit
+  integer, so every ingest path funnels through :func:`ensure_ids`,
+  which raises :class:`IdOverflowError` instead of silently wrapping.
+* **float32 values** — vote counts and token lengths are small integers
+  (|v| well under 2**24), so storing them as ``float32`` is *exact*:
+  the value round-trips bit-identically through the ``float64``
+  arithmetic the feature engine runs in.  Quantities that are genuinely
+  real-valued and precision-sensitive (timestamps, response times,
+  model-facing topic mixtures) stay ``float64``.
+
+Keeping the policy in one module lets the state engine, the retrieval
+indices and the streaming generator agree on widths without importing
+each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "ID_DTYPE",
+    "ID_MAX",
+    "VALUE_DTYPE",
+    "TIME_DTYPE",
+    "IdOverflowError",
+    "ensure_ids",
+    "check_id",
+]
+
+ID_DTYPE = np.int32
+ID_MAX = np.iinfo(ID_DTYPE).max
+VALUE_DTYPE = np.float32
+TIME_DTYPE = np.float64
+
+
+class IdOverflowError(OverflowError):
+    """An id does not fit the columnar store's ``int32`` id columns."""
+
+
+def ensure_ids(values, what: str = "id") -> np.ndarray:
+    """``values`` as an ``int32`` array, or :class:`IdOverflowError`.
+
+    Accepts any integer array-like.  The check happens on the original
+    width, so values that would wrap (negative ids included) are caught
+    rather than aliased onto a valid id.
+    """
+    arr = np.asarray(values)
+    if arr.dtype == ID_DTYPE:
+        if arr.size and int(arr.min()) < 0:
+            raise IdOverflowError(
+                f"negative {what} {int(arr.min())} is not a valid id"
+            )
+        return arr
+    wide = arr.astype(np.int64, copy=False)
+    if wide.size:
+        lo, hi = int(wide.min()), int(wide.max())
+        if lo < 0 or hi > ID_MAX:
+            bad = lo if lo < 0 else hi
+            raise IdOverflowError(
+                f"{what} {bad} outside the int32 id range [0, {ID_MAX}]"
+            )
+    return wide.astype(ID_DTYPE)
+
+
+def check_id(value: int, what: str = "id") -> int:
+    """A single id validated against the ``int32`` range."""
+    value = int(value)
+    if value < 0 or value > ID_MAX:
+        raise IdOverflowError(
+            f"{what} {value} outside the int32 id range [0, {ID_MAX}]"
+        )
+    return value

@@ -27,6 +27,7 @@ import numpy as np
 from ... import perf
 from ...forum.dataset import ForumDataset
 from ...forum.models import Thread
+from ..columnar import thread_activity
 from ..state import ForumState, FrozenState
 from ..topic_context import TopicModelContext
 from .config import RetrievalConfig
@@ -125,14 +126,21 @@ class CandidateRetriever:
             self._recency.forget(user, thread.thread_id)
 
     def attach(self, state: ForumState) -> None:
-        """Follow a live state: rebuild recency once, then ride events."""
+        """Follow a live state: rebuild recency once, then ride events.
+
+        The one-time rebuild reads the state's columnar answer log —
+        one vectorized group-by over raw event columns instead of
+        materializing every thread as Python objects.
+        """
         if self._attached is state:
             return
         if self._attached is not None:
             self._attached.remove_listener(self)
         self._recency.clear()
-        for thread in state.to_dataset():
-            self.on_append(thread)
+        users, thread_ids, timestamps = state.answer_events()
+        self._recency.observe_block(
+            *thread_activity(users, thread_ids, timestamps)
+        )
         state.add_listener(self)
         self._attached = state
 

@@ -27,6 +27,7 @@ import numpy as np
 
 from ... import perf
 from ...baselines.mf import MatrixFactorization
+from ..dtypes import ID_DTYPE, ensure_ids
 from ..parallel import parallel_map
 
 __all__ = [
@@ -89,7 +90,9 @@ class TopicInvertedIndex:
     def __init__(
         self, user_ids: np.ndarray, user_topics: np.ndarray
     ):
-        user_ids = np.asarray(user_ids, dtype=np.int64)
+        # int32 postings axis: the columnar store guarantees id range,
+        # and halving the id width halves what every lexsort touches.
+        user_ids = ensure_ids(user_ids, "user id")
         user_topics = np.asarray(user_topics, dtype=float)
         if user_topics.ndim != 2 or user_ids.size != user_topics.shape[0]:
             raise ValueError("user_topics must be (len(user_ids), K)")
@@ -219,6 +222,29 @@ class RecencyIndex:
             del self._per_user[user]
         self._version += 1
 
+    def observe_block(
+        self,
+        users: np.ndarray,
+        thread_ids: np.ndarray,
+        counts: np.ndarray,
+        latest: np.ndarray,
+    ) -> None:
+        """Fold pre-grouped ``(user, thread)`` aggregates in one pass.
+
+        The columnar rebuild path: :func:`repro.core.columnar.thread_activity`
+        group-bys the raw event columns, and this folds the grouped rows
+        without a per-post ``observe`` call each.  Equivalent to calling
+        :meth:`observe` once per underlying event.
+        """
+        per_user_map = self._per_user
+        for user, tid, count, ts in zip(
+            users.tolist(), thread_ids.tolist(), counts.tolist(), latest.tolist()
+        ):
+            per_user = per_user_map.setdefault(user, {})
+            prev_latest, prev_count = per_user.get(tid, (-np.inf, 0))
+            per_user[tid] = (max(prev_latest, ts), prev_count + count)
+        self._version += 1
+
     def clear(self) -> None:
         self._per_user.clear()
         self._cache = None
@@ -236,7 +262,7 @@ class RecencyIndex:
         if self._cache is not None and self._cache[0] == self._version:
             return self._cache[1], self._cache[2], self._cache[3]
         users = sorted(self._per_user)
-        user_ids = np.array(users, dtype=np.int64)
+        user_ids = ensure_ids(np.array(users, dtype=np.int64), "user id")
         latest = np.empty(len(users))
         counts = np.empty(len(users), dtype=np.int64)
         for i, user in enumerate(users):
@@ -295,10 +321,10 @@ class MFEmbeddingIndex:
         self.l2 = l2
         self.learning_rate = learning_rate
         self.seed = seed
-        self.user_ids: np.ndarray = np.empty(0, dtype=np.int64)
+        self.user_ids: np.ndarray = np.empty(0, dtype=ID_DTYPE)
         self._user_bias: np.ndarray | None = None
         self._user_factors: np.ndarray | None = None
-        self._thread_ids: np.ndarray = np.empty(0, dtype=np.int64)
+        self._thread_ids: np.ndarray = np.empty(0, dtype=ID_DTYPE)
         self._thread_bias: np.ndarray | None = None
         self._thread_factors: np.ndarray | None = None
         self._projection: np.ndarray | None = None
@@ -349,8 +375,8 @@ class MFEmbeddingIndex:
         votes = np.asarray(votes, dtype=float)
         if users.size == 0:
             raise ValueError("need at least one (user, thread, vote) triple")
-        user_ids = np.unique(users)
-        thread_ids = np.unique(threads)
+        user_ids = ensure_ids(np.unique(users), "user id")
+        thread_ids = ensure_ids(np.unique(threads), "thread id")
         rows = np.searchsorted(user_ids, users)
         cols = np.searchsorted(thread_ids, threads)
         row_bias, row_factors, warm_users = self._warm_init(

@@ -44,6 +44,7 @@ from .pipeline import ForumPredictor
 
 __all__ = [
     "solve_routing_lp",
+    "finish_recommendation",
     "RoutingResult",
     "QuestionRouter",
     "UserLoadTracker",
@@ -366,34 +367,71 @@ class QuestionRouter:
         capacities: dict[int, float] | None,
         pool_size: int | None = None,
     ) -> RoutingResult | None:
-        recent_load = recent_load or {}
-        capacities = capacities or {}
         preds = self.predictor.predict_batch(
             [(int(u), thread) for u in candidates]
         )
         eligible = np.flatnonzero(preds["answer"] >= self.epsilon)
         if eligible.size == 0:
             return None
-        users = np.asarray(candidates, dtype=np.int64)[eligible]
-        votes = preds["votes"][eligible]
-        times = preds["response_time"][eligible]
-        scores = votes - tradeoff * times
-        caps = _gather_from_dict(users, capacities, self.default_capacity)
-        if recent_load:
-            caps -= _gather_from_dict(users, recent_load, 0.0)
-        np.clip(caps, 0.0, None, out=caps)
-        if caps.sum() < 1.0 - 1e-12:
-            return None
-        probabilities = solve_routing_lp(scores, caps)
-        return RoutingResult(
-            question_id=thread.thread_id,
-            users=users,
-            probabilities=probabilities,
-            scores=scores,
-            predictions={
-                "answer": preds["answer"][eligible],
-                "votes": votes,
-                "response_time": times,
-            },
+        return finish_recommendation(
+            thread.thread_id,
+            np.asarray(candidates, dtype=np.int64)[eligible],
+            preds["answer"][eligible],
+            preds["votes"][eligible],
+            preds["response_time"][eligible],
+            tradeoff=tradeoff,
+            recent_load=recent_load,
+            capacities=capacities,
+            default_capacity=self.default_capacity,
             pool_size=pool_size,
         )
+
+
+def finish_recommendation(
+    question_id: int,
+    users: np.ndarray,
+    answer: np.ndarray,
+    votes: np.ndarray,
+    times: np.ndarray,
+    *,
+    tradeoff: float,
+    recent_load: dict[int, int] | None,
+    capacities: dict[int, float] | None,
+    default_capacity: float,
+    pool_size: int | None = None,
+) -> RoutingResult | None:
+    """Capacity gathering + exact LP over an already-eligible user set.
+
+    The shared tail of every routing path: the dense scorer calls it
+    with its threshold-filtered predictions, and the sharded engine
+    (:mod:`repro.core.sharding`) calls it with the merged per-shard
+    eligible sets — same code, so a merged shard run and a dense run
+    over the same users produce the same :class:`RoutingResult` bit for
+    bit.  ``users`` must be aligned with the prediction arrays; returns
+    ``None`` when nobody is eligible or capacity cannot absorb the unit
+    mass.
+    """
+    recent_load = recent_load or {}
+    capacities = capacities or {}
+    if users.size == 0:
+        return None
+    scores = votes - tradeoff * times
+    caps = _gather_from_dict(users, capacities, default_capacity)
+    if recent_load:
+        caps -= _gather_from_dict(users, recent_load, 0.0)
+    np.clip(caps, 0.0, None, out=caps)
+    if caps.sum() < 1.0 - 1e-12:
+        return None
+    probabilities = solve_routing_lp(scores, caps)
+    return RoutingResult(
+        question_id=question_id,
+        users=users,
+        probabilities=probabilities,
+        scores=scores,
+        predictions={
+            "answer": answer,
+            "votes": votes,
+            "response_time": times,
+        },
+        pool_size=pool_size,
+    )

@@ -1,0 +1,520 @@
+"""Shared-nothing sharded feature extraction and question routing.
+
+Scales the Sec.-IV/V hot path (featurize candidates -> predict ->
+exact LP) across worker processes without changing a single output bit:
+
+* **Partitioning** — users are assigned to shards by ``user % n_shards``
+  (:class:`ShardPlan`).  Each shard holds only its users' heavy state: a
+  row-slice of the frozen batch tables and histories
+  (:func:`slice_frozen`), which are *exact row copies* of the
+  single-process tables because the canonical table layout is already
+  sorted by user id.  Small global tables (question info, graphs,
+  centralities, discussed aggregates) are broadcast read-only.
+* **Per-shard work** — each worker featurizes its candidate slice with
+  the ordinary :class:`~repro.core.features.FeatureExtractor` (batch
+  engine, columnar tables) and, under a two-stage config, generates its
+  local candidate top-k lists.
+* **Deterministic merge** — the parent concatenates the per-shard
+  feature blocks, restores canonical ascending-user order, runs the
+  model heads *once* on the merged matrix, and feeds the eligible set
+  to the shared LP tail
+  (:func:`~repro.core.routing.finish_recommendation`).  Because the
+  merged matrix is byte-identical to the dense matrix over sorted
+  candidates, routing results are bit-identical to a single-process
+  dense run at any shard count — including every model-forward bit,
+  which would not be guaranteed if each shard ran its own forward pass
+  on differently-shaped row blocks.
+
+Candidate generation merges the same way: shard-local top-k lists are
+re-ranked under the exact global sort key (topic affinity:
+``(-score, id)``; activity: ``(-count, -latest, id)``), so the fused
+pool is invariant to the shard count.
+
+Process mode runs shards on a persistent
+:class:`~repro.core.parallel.ShardPool` (payload shipped once at worker
+startup); inline mode runs the identical worker objects in-process,
+which is what the equivalence tests pin against the dense router.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .. import perf
+from ..forum.dataset import ForumDataset
+from ..forum.models import Thread
+from .columnar import BatchTables
+from .features import FeatureExtractor
+from .parallel import ShardPool
+from .pipeline import ForumPredictor
+from .retrieval.config import RetrievalConfig
+from .retrieval.engine import _sorted_member, reciprocal_rank_fusion
+from .routing import RoutingResult, finish_recommendation
+from .state import FrozenState
+from .topic_context import TopicModelContext
+
+__all__ = [
+    "ShardPlan",
+    "ShardPayload",
+    "ShardWorker",
+    "ShardedRouter",
+    "slice_frozen",
+    "slice_tables",
+]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """User -> shard assignment: ``user % n_shards``."""
+
+    n_shards: int
+
+    def __post_init__(self):
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+
+    def shard_of(self, users):
+        return np.asarray(users) % self.n_shards
+
+    def mask(self, users, shard: int) -> np.ndarray:
+        return (np.asarray(users) % self.n_shards) == shard
+
+
+def slice_tables(tbl: BatchTables, users_sel: list[int]) -> BatchTables:
+    """The batch-table rows of ``users_sel`` (must be sorted ascending).
+
+    Per-user rows and per-user history blocks are fancy-indexed copies
+    of the full table, so every float a shard reads is the same object
+    value the single-process engine reads; only ``seg_start`` and the
+    ``row_of`` offsets are rebased onto the shard-local concatenation.
+    """
+    idx = np.fromiter(
+        (tbl.user_index[u] for u in users_sel),
+        dtype=np.int64,
+        count=len(users_sel),
+    )
+    counts = tbl.n[idx] if idx.size else np.zeros(0, dtype=np.int64)
+    u_count = idx.size
+    seg_start = np.zeros(u_count, dtype=np.int64)
+    if u_count > 1:
+        np.cumsum(counts[:-1], out=seg_start[1:])
+    if u_count:
+        rows = np.concatenate(
+            [
+                np.arange(tbl.seg_start[i], tbl.seg_start[i] + tbl.n[i])
+                for i in idx.tolist()
+            ]
+        )
+    else:
+        rows = np.empty(0, dtype=np.int64)
+    delta = {
+        u: int(seg_start[pos]) - int(tbl.seg_start[idx[pos]])
+        for pos, u in enumerate(users_sel)
+    }
+    row_of = {
+        key: row + delta[key[0]]
+        for key, row in tbl.row_of.items()
+        if key[0] in delta
+    }
+    return BatchTables(
+        user_index={u: pos for pos, u in enumerate(users_sel)},
+        n=counts,
+        votes_sum=tbl.votes_sum[idx],
+        median_rt=tbl.median_rt[idx],
+        d_u=tbl.d_u[idx],
+        topic_sum=tbl.topic_sum[idx],
+        seg_start=seg_start,
+        hist_topics=tbl.hist_topics[rows],
+        hist_votes=tbl.hist_votes[rows],
+        hist_answer_topics=tbl.hist_answer_topics[rows],
+        times_sorted=tbl.times_sorted[rows],
+        time_rank=tbl.time_rank[rows],
+        row_of=row_of,
+        dup_users={u for u in tbl.dup_users if u in delta},
+    )
+
+
+def slice_frozen(frozen: FrozenState, users_sel: list[int]) -> FrozenState:
+    """A shard's frozen snapshot: heavy per-user state restricted to
+    ``users_sel``, small global tables shared as-is."""
+    return replace(
+        frozen,
+        histories={u: frozen.histories[u] for u in users_sel},
+        batch_tables=slice_tables(frozen.batch_tables, users_sel),
+    )
+
+
+@dataclass
+class ShardPayload:
+    """Everything one shard worker needs, shipped once at startup."""
+
+    shard: int
+    n_shards: int
+    frozen: FrozenState  # sliced to this shard's users
+    topics: TopicModelContext  # slim: vocabulary + model, empty cache
+    # Activity (recency) table restricted to this shard's users; empty
+    # arrays when candidate generation is not in use.
+    act_users: np.ndarray
+    act_counts: np.ndarray
+    act_latest: np.ndarray
+
+
+class ShardWorker:
+    """One shard's state: a bound extractor plus generation tables.
+
+    Used identically inline (in-process) and as the
+    :class:`~repro.core.parallel.ShardPool` factory target.
+    """
+
+    def __init__(self, payload: ShardPayload):
+        self.shard = payload.shard
+        self.n_shards = payload.n_shards
+        extractor = FeatureExtractor.__new__(FeatureExtractor)
+        extractor._bind(payload.frozen, payload.topics, ForumDataset([]))
+        self.extractor = extractor
+        tables = payload.frozen.batch_tables
+        self._gen_users = np.fromiter(
+            tables.user_index, dtype=np.int64, count=len(tables.user_index)
+        )
+        self._gen_d_u = tables.d_u
+        self._act_users = np.asarray(payload.act_users, dtype=np.int64)
+        self._act_counts = np.asarray(payload.act_counts, dtype=np.int64)
+        self._act_latest = np.asarray(payload.act_latest, dtype=float)
+
+    def score(
+        self,
+        threads: list[Thread],
+        users_per_thread: list[np.ndarray],
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """``(users, feature_rows)`` of this shard's candidate slice.
+
+        ``users_per_thread[i]`` is thread ``i``'s full candidate pool;
+        the worker featurizes the subset assigned to its shard.  Rows
+        come back in ascending user order (pools are sorted), ready for
+        the parent's canonical merge.
+        """
+        out = []
+        for thread, users in zip(threads, users_per_thread):
+            users = np.asarray(users, dtype=np.int64)
+            mine = users[(users % self.n_shards) == self.shard]
+            x = self.extractor.feature_matrix(
+                [(int(u), thread) for u in mine]
+            )
+            out.append((mine, x))
+        return out
+
+    def generate(
+        self,
+        thetas: np.ndarray,
+        topic_top_k: int,
+        recency_top_k: int,
+    ) -> dict:
+        """Shard-local candidate top-k lists with their exact sort keys.
+
+        Topic affinity scores every shard user exhaustively
+        (``theta . d_u`` — per-row reductions, so a user's score does
+        not depend on which shard computes it); activity ranks by
+        ``(-count, -latest, id)``.  Local top-k lists are supersets of
+        the shard's contribution to the global top-k, so the parent's
+        key-merge reconstructs the exact global ranking.
+        """
+        order = np.lexsort(
+            (self._act_users, -self._act_latest, -self._act_counts)
+        )[:recency_top_k]
+        activity = (
+            self._act_users[order],
+            self._act_counts[order],
+            self._act_latest[order],
+        )
+        topic = []
+        for theta in np.atleast_2d(thetas):
+            scores = (self._gen_d_u * theta).sum(axis=1)
+            top = np.lexsort((self._gen_users, -scores))[:topic_top_k]
+            topic.append((self._gen_users[top], scores[top]))
+        return {"topic": topic, "activity": activity}
+
+
+def _window_activity(
+    window: ForumDataset,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-user answer volume and latest answer time over the window."""
+    records = window.answer_records()
+    if not records:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), np.empty(0)
+    users = np.fromiter(
+        (r.user for r in records), dtype=np.int64, count=len(records)
+    )
+    times = np.fromiter(
+        (r.timestamp for r in records), dtype=float, count=len(records)
+    )
+    order = np.lexsort((times, users))
+    users, times = users[order], times[order]
+    uniq, start, counts = np.unique(
+        users, return_index=True, return_counts=True
+    )
+    return uniq, counts.astype(np.int64), times[start + counts - 1]
+
+
+class ShardedRouter:
+    """Shard-parallel drop-in for dense :class:`QuestionRouter` batches.
+
+    Built from a fitted predictor; scoring (and, with a ``retrieval``
+    config, candidate generation) fans out over shards while the model
+    heads and the exact LP run once in the parent on the merged,
+    canonically ordered arrays.  Output contract: bit-identical to the
+    dense router called with *sorted* candidates, at any shard count.
+
+    ``mode="process"`` runs shards on persistent worker processes
+    (shared-nothing; payloads ship once); ``mode="inline"`` runs the
+    same worker objects in-process — zero IPC, same bits, useful for
+    tests and single-core machines.
+    """
+
+    def __init__(
+        self,
+        predictor: ForumPredictor,
+        n_shards: int,
+        *,
+        epsilon: float = 0.5,
+        default_capacity: float = 1.0,
+        retrieval: RetrievalConfig | None = None,
+        mode: str = "inline",
+    ):
+        if predictor.extractor is None:
+            raise RuntimeError("predictor is not fitted")
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError("epsilon must be in (0, 1)")
+        if default_capacity <= 0:
+            raise ValueError("default_capacity must be positive")
+        if mode not in ("inline", "process"):
+            raise ValueError("mode must be 'inline' or 'process'")
+        self.predictor = predictor
+        self.plan = ShardPlan(n_shards)
+        self.epsilon = epsilon
+        self.default_capacity = default_capacity
+        self.retrieval = retrieval
+        self.mode = mode
+        frozen = predictor.extractor.frozen
+        tables = frozen.batch_tables
+        table_users = np.fromiter(
+            tables.user_index, dtype=np.int64, count=len(tables.user_index)
+        )
+        if self._two_stage():
+            act_users, act_counts, act_latest = _window_activity(
+                predictor.extractor.window
+            )
+        else:
+            act_users = np.empty(0, dtype=np.int64)
+            act_counts = np.empty(0, dtype=np.int64)
+            act_latest = np.empty(0)
+        # Users any index has evidence about; candidates outside this
+        # set are kept in every pool unconditionally (same rule as
+        # CandidateRetriever.pool).
+        self._known = np.union1d(table_users, act_users)
+        slim_topics = TopicModelContext(
+            predictor.topics.vocabulary, predictor.topics.model, {}
+        )
+        with perf.timer("sharding.build"):
+            payloads = []
+            for shard in range(n_shards):
+                users_sel = [
+                    u for u in tables.user_index if u % n_shards == shard
+                ]
+                m = self.plan.mask(act_users, shard)
+                payloads.append(
+                    ShardPayload(
+                        shard=shard,
+                        n_shards=n_shards,
+                        frozen=slice_frozen(frozen, users_sel),
+                        topics=slim_topics,
+                        act_users=act_users[m],
+                        act_counts=act_counts[m],
+                        act_latest=act_latest[m],
+                    )
+                )
+            self._pool: ShardPool | None = None
+            self._workers: list[ShardWorker] | None = None
+            if mode == "process":
+                self._pool = ShardPool(payloads, ShardWorker)
+            else:
+                self._workers = [ShardWorker(p) for p in payloads]
+        perf.incr("sharding.routers_built")
+
+    @property
+    def n_shards(self) -> int:
+        return self.plan.n_shards
+
+    def _two_stage(self) -> bool:
+        return self.retrieval is not None and self.retrieval.mode == "two_stage"
+
+    def _scatter(self, method: str, *args) -> list:
+        """Run ``method(*args)`` on every shard; results in shard order."""
+        if self._pool is not None:
+            return self._pool.call_all(
+                method, [args] * self.plan.n_shards
+            )
+        return [getattr(w, method)(*args) for w in self._workers]
+
+    # -- candidate generation ------------------------------------------------
+
+    def candidate_pools(
+        self, threads: list[Thread], candidates: np.ndarray
+    ) -> list[np.ndarray]:
+        """Fused candidate pool per thread (two-stage config required).
+
+        Shards generate local top-k lists; the parent merges them under
+        the exact global sort keys and fuses with RRF, so the pools do
+        not depend on the shard count.
+        """
+        cfg = self.retrieval
+        if cfg is None:
+            raise RuntimeError("candidate generation needs a retrieval config")
+        candidates = np.sort(np.asarray(candidates, dtype=np.int64))
+        thetas = np.stack(
+            [
+                self.predictor.topics.post_topics(t.question)
+                for t in threads
+            ]
+        )
+        with perf.timer("sharding.generate"):
+            shard_gen = self._scatter(
+                "generate", thetas, cfg.topic_top_k, cfg.recency_top_k
+            )
+            act_ids = np.concatenate([g["activity"][0] for g in shard_gen])
+            act_counts = np.concatenate([g["activity"][1] for g in shard_gen])
+            act_latest = np.concatenate([g["activity"][2] for g in shard_gen])
+            order = np.lexsort((act_ids, -act_latest, -act_counts))
+            activity_ranked = act_ids[order][: cfg.recency_top_k]
+            pools = []
+            for i in range(len(threads)):
+                t_ids = np.concatenate(
+                    [g["topic"][i][0] for g in shard_gen]
+                )
+                t_scores = np.concatenate(
+                    [g["topic"][i][1] for g in shard_gen]
+                )
+                order = np.lexsort((t_ids, -t_scores))
+                topic_ranked = t_ids[order][: cfg.topic_top_k]
+                fused = reciprocal_rank_fusion(
+                    [topic_ranked, activity_ranked],
+                    rrf_k=cfg.rrf_k,
+                    pool_size=cfg.pool_size,
+                )
+                pool = np.union1d(
+                    candidates[_sorted_member(candidates, fused)],
+                    candidates[~_sorted_member(candidates, self._known)],
+                )
+                pools.append(pool)
+        perf.incr("sharding.pools_generated", len(pools))
+        return pools
+
+    # -- routing -------------------------------------------------------------
+
+    def route(
+        self,
+        thread: Thread,
+        candidates,
+        *,
+        tradeoff: float = 0.1,
+        recent_load: dict[int, int] | None = None,
+        capacities: dict[int, float] | None = None,
+    ) -> RoutingResult | None:
+        return self.route_batch(
+            [thread],
+            candidates,
+            tradeoff=tradeoff,
+            recent_load=recent_load,
+            capacities=capacities,
+        )[0]
+
+    def route_batch(
+        self,
+        threads: list[Thread],
+        candidates,
+        *,
+        tradeoff: float = 0.1,
+        recent_load: dict[int, int] | None = None,
+        capacities: dict[int, float] | None = None,
+    ) -> list[RoutingResult | None]:
+        """Sec.-V routing for a batch of questions over shared candidates.
+
+        ``recent_load``/``capacities`` apply to every thread in the
+        batch (one load snapshot per call, matching a replay step).
+        Results are in thread order; ``None`` where nobody is eligible
+        or capacity is infeasible — exactly the dense router's contract.
+        """
+        candidates = np.sort(np.asarray(candidates, dtype=np.int64))
+        if candidates.size == 0:
+            return [None] * len(threads)
+        if self._two_stage():
+            pools = self.candidate_pools(threads, candidates)
+            pool_sizes: list[int | None] = [int(p.size) for p in pools]
+        else:
+            pools = [candidates] * len(threads)
+            pool_sizes = [None] * len(threads)
+        with perf.timer("sharding.score"):
+            shard_scores = self._scatter("score", threads, pools)
+        results: list[RoutingResult | None] = []
+        with perf.timer("sharding.merge"):
+            for i, thread in enumerate(threads):
+                user_parts = []
+                x_parts = []
+                for shard_result in shard_scores:
+                    users, x = shard_result[i]
+                    if users.size:
+                        user_parts.append(users)
+                        x_parts.append(x)
+                if not user_parts:
+                    results.append(None)
+                    continue
+                users = np.concatenate(user_parts)
+                x = np.concatenate(x_parts, axis=0)
+                # Canonical merge: shards partition users disjointly and
+                # return them ascending, so one stable argsort restores
+                # the exact dense (sorted-candidate) row order.
+                order = np.argsort(users, kind="stable")
+                users = users[order]
+                x = x[order]
+                horizons = np.full(
+                    users.size,
+                    float(self.predictor._horizons([thread])[0]),
+                )
+                answer = self.predictor.answer_model.predict_proba(x)
+                votes = self.predictor.vote_model.predict(x)
+                times = self.predictor.timing_model.predict(x, horizons)
+                eligible = np.flatnonzero(answer >= self.epsilon)
+                if eligible.size == 0:
+                    results.append(None)
+                    continue
+                results.append(
+                    finish_recommendation(
+                        thread.thread_id,
+                        users[eligible],
+                        answer[eligible],
+                        votes[eligible],
+                        times[eligible],
+                        tradeoff=tradeoff,
+                        recent_load=recent_load,
+                        capacities=capacities,
+                        default_capacity=self.default_capacity,
+                        pool_size=pool_sizes[i],
+                    )
+                )
+        perf.incr("sharding.questions_routed", len(threads))
+        return results
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedRouter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

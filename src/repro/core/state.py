@@ -9,6 +9,13 @@ edge multisets.  ``append(thread)`` applies one thread's delta,
 materializes the read-only tables (:class:`FrozenState`) a
 :class:`~repro.core.features.FeatureExtractor` computes features from.
 
+Answer events are stored columnar: one row per answer in an append-only
+:class:`~repro.core.columnar.AnswerLog` (contiguous numpy segments,
+``int32`` ids / ``float32`` votes), with the per-user view reduced to a
+list of row ids.  Freezing gathers rows by fancy indexing instead of
+walking python objects, and eviction tombstones rows until a compaction
+pass rewrites the log (when dead rows outnumber live ones).
+
 Freezing is incremental where it matters: per-user reductions (medians,
 topic means, sorted response times) are cached and recomputed only for
 users whose history changed since the previous freeze, and graph
@@ -21,12 +28,15 @@ tables bit-identical to a state built fresh from the same thread window
 
 * threads must be appended in chronological order, so per-user row
   lists always match the fresh-build iteration order;
-* cached per-user aggregates are pure functions of the row lists;
+* cached per-user aggregates are pure functions of the gathered rows
+  (and row *values* survive compaction unchanged);
 * graphs are rebuilt in canonical (sorted) order before centralities,
   so set-iteration order never depends on the mutation history.
 
 The online loop relies on this to make its incremental refit path
-produce the exact same :class:`OnlineReport` as a full rebuild.
+produce the exact same :class:`OnlineReport` as a full rebuild, and the
+sharded engine (:mod:`repro.core.sharding`) relies on it to make
+per-shard table slices exact row-copies of the single-process tables.
 """
 
 from __future__ import annotations
@@ -47,6 +57,15 @@ from ..graphs import (
     qa_links,
 )
 from ..topics.tokenizer import split_text_and_code
+from .columnar import (
+    AnswerLog,
+    BatchTables,
+    UserHistory,
+    UserSummary,
+    assemble_tables,
+    user_summary,
+)
+from .dtypes import VALUE_DTYPE
 from .topic_context import TopicModelContext
 
 __all__ = [
@@ -55,6 +74,16 @@ __all__ = [
     "FrozenState",
     "question_info_from_thread",
 ]
+
+# Historical aliases: the freeze artifacts moved to ``core.columnar``
+# (shared with the shard workers); existing imports keep working.
+_UserHistory = UserHistory
+_UserSummary = UserSummary
+_BatchTables = BatchTables
+
+# Compaction triggers once dead rows outnumber live ones *and* there is
+# enough garbage for the rewrite to pay for itself.
+_COMPACT_MIN_DEAD = 1024
 
 
 @dataclass(frozen=True)
@@ -65,46 +94,6 @@ class QuestionInfo:
     word_length: float
     code_length: float
     topics: np.ndarray
-
-
-@dataclass
-class _UserHistory:
-    """A user's answering history inside the feature window."""
-
-    answered_thread_ids: np.ndarray  # (n_i,)
-    answered_question_topics: np.ndarray  # (n_i, K)
-    answer_votes: np.ndarray  # (n_i,)
-    response_times: np.ndarray  # (n_i,)
-    answer_topic_vectors: np.ndarray  # (n_i, K) topics of the answers themselves
-
-
-@dataclass
-class _BatchTables:
-    """Flat per-user aggregate tables backing the batch feature engine.
-
-    Histories are concatenated row-wise (``seg_start`` delimits each
-    user's block) so whole pair batches reduce with one segmented sum
-    instead of per-user Python.  ``times_sorted``/``time_rank`` hold
-    each user's response times sorted within its block, which turns the
-    leave-one-row-out median into index arithmetic.  Users listed in
-    ``dup_users`` answered some thread more than once (pre-preprocessing
-    data) and take the masked fallback path instead of ``row_of``.
-    """
-
-    user_index: dict[int, int]  # user id -> row in the per-user tables
-    n: np.ndarray  # (U,) history lengths
-    votes_sum: np.ndarray  # (U,)
-    median_rt: np.ndarray  # (U,)
-    d_u: np.ndarray  # (U, K) answer_topic_vectors.mean(axis=0)
-    topic_sum: np.ndarray  # (U, K) answer_topic_vectors.sum(axis=0)
-    seg_start: np.ndarray  # (U,) offsets into the concatenated rows
-    hist_topics: np.ndarray  # (N, K) answered_question_topics, concatenated
-    hist_votes: np.ndarray  # (N,)
-    hist_answer_topics: np.ndarray  # (N, K)
-    times_sorted: np.ndarray  # (N,) response times, sorted per user block
-    time_rank: np.ndarray  # (N,) history row -> rank within its block
-    row_of: dict[tuple[int, int], int]  # (user, tid) -> concatenated row
-    dup_users: set[int]
 
 
 def question_info_from_thread(
@@ -120,31 +109,6 @@ def question_info_from_thread(
     )
 
 
-@dataclass
-class _AnswerRow:
-    """One answer event inside a user's history, in arrival order."""
-
-    thread_id: int
-    question_topics: np.ndarray
-    votes: float
-    response_time: float
-    answer_topics: np.ndarray
-
-
-@dataclass
-class _UserSummary:
-    """Cached per-user freeze artifacts; valid until the rows change."""
-
-    history: _UserHistory
-    votes_sum: float
-    median_rt: float
-    d_u: np.ndarray
-    topic_sum: np.ndarray
-    times_sorted: np.ndarray
-    time_rank: np.ndarray
-    tid_rows: list[tuple[int, int]] | None  # (tid, local row); None if dup
-
-
 @dataclass(frozen=True)
 class FrozenState:
     """Read-only snapshot of one freeze; what the extractor consumes.
@@ -155,7 +119,7 @@ class FrozenState:
     """
 
     question_info: dict[int, QuestionInfo]
-    histories: dict[int, _UserHistory]
+    histories: dict[int, UserHistory]
     questions_asked: dict[int, int]
     global_median_response: float
     discussed_sum: dict[int, np.ndarray]
@@ -168,7 +132,7 @@ class FrozenState:
     qa_betweenness: dict[int, float]
     dense_closeness: dict[int, float]
     dense_betweenness: dict[int, float]
-    batch_tables: _BatchTables
+    batch_tables: BatchTables
     duration_hours: float
     n_threads: int
     fingerprint: str
@@ -183,7 +147,10 @@ class ForumState:
         self._last_created = float("-inf")
         self._num_answers = 0
         self._question_info: dict[int, QuestionInfo] = {}
-        self._rows: dict[int, list[_AnswerRow]] = {}
+        # Columnar answer events + per-user row-id lists (arrival order).
+        self._log = AnswerLog(topics.n_topics)
+        self._user_rows: dict[int, list[int]] = {}
+        self._dead_rows = 0
         self._questions_asked: dict[int, int] = {}
         # Per-user, per-thread discussed-topic contributions, insertion
         # (= chronological) ordered: user -> {tid: (topic sum, n posts)}.
@@ -193,7 +160,7 @@ class ForumState:
         self._dense = EdgeMultiset(dense_links)
         # Freeze caches.
         self._dirty_users: set[int] = set()
-        self._summaries: dict[int, _UserSummary] = {}
+        self._summaries: dict[int, UserSummary] = {}
         self._dirty_discussed: set[int] = set()
         self._discussed_totals: dict[int, tuple[np.ndarray, int]] = {}
         self._rt_dirty = True
@@ -241,7 +208,35 @@ class ForumState:
 
     @property
     def answerers(self) -> set[int]:
-        return set(self._rows)
+        return set(self._user_rows)
+
+    @property
+    def answer_log(self) -> AnswerLog:
+        """The columnar answer-event store (includes tombstoned rows)."""
+        return self._log
+
+    def answer_events(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(user, thread_id, timestamp)`` columns of the live rows.
+
+        The columnar read path for derived indices (recency, activity):
+        one fancy-indexed gather instead of iterating Thread objects.
+        """
+        if not self._user_rows:
+            empty_ids = self._log.column("user")[:0]
+            return empty_ids, empty_ids, np.empty(0)
+        rows = np.sort(
+            np.concatenate(
+                [
+                    np.asarray(r, dtype=np.int64)
+                    for r in self._user_rows.values()
+                ]
+            )
+        )
+        return (
+            self._log.gather("user", rows),
+            self._log.gather("thread_id", rows),
+            self._log.gather("timestamp", rows),
+        )
 
     @property
     def duration_hours(self) -> float:
@@ -291,20 +286,29 @@ class ForumState:
             self._question_info[tid] = info
             asker = thread.asker
             self._questions_asked[asker] = self._questions_asked.get(asker, 0) + 1
-            for answer in thread.answers:
-                self._rows.setdefault(answer.author, []).append(
-                    _AnswerRow(
-                        thread_id=tid,
-                        question_topics=info.topics,
-                        votes=float(answer.votes),
-                        response_time=answer.timestamp - thread.created_at,
-                        answer_topics=self.topics.post_topics(answer),
-                    )
-                )
-                self._dirty_users.add(answer.author)
-            self._num_answers += len(thread.answers)
             if thread.answers:
+                answers = thread.answers
+                timestamps = np.array([a.timestamp for a in answers])
+                start = self._log.append_thread(
+                    [a.author for a in answers],
+                    tid,
+                    np.array(
+                        [float(a.votes) for a in answers], dtype=VALUE_DTYPE
+                    ),
+                    timestamps,
+                    timestamps - thread.created_at,
+                    info.topics,
+                    np.stack(
+                        [self.topics.post_topics(a) for a in answers]
+                    ),
+                )
+                for offset, answer in enumerate(answers):
+                    self._user_rows.setdefault(answer.author, []).append(
+                        start + offset
+                    )
+                    self._dirty_users.add(answer.author)
                 self._rt_dirty = True
+            self._num_answers += len(thread.answers)
             k = self.topics.n_topics
             for post in thread.posts:
                 d = self.topics.post_topics(post)
@@ -334,6 +338,7 @@ class ForumState:
                 self._remove_thread(thread)
             if stale:
                 self._frozen = None
+                self._maybe_compact()
         for thread in stale:
             for listener in self._listeners:
                 listener.on_evict(thread)
@@ -352,12 +357,14 @@ class ForumState:
             del self._questions_asked[asker]
         answerers = thread.answerers
         for user in answerers:
-            rows = [r for r in self._rows[user] if r.thread_id != tid]
-            if rows:
-                self._rows[user] = rows
+            rows = np.asarray(self._user_rows[user], dtype=np.int64)
+            keep = rows[self._log.gather("thread_id", rows) != tid]
+            self._dead_rows += rows.size - keep.size
+            if keep.size:
+                self._user_rows[user] = keep.tolist()
                 self._dirty_users.add(user)
             else:
-                del self._rows[user]
+                del self._user_rows[user]
                 self._dirty_users.discard(user)
                 self._summaries.pop(user, None)
         self._num_answers -= len(thread.answers)
@@ -380,49 +387,48 @@ class ForumState:
         self._qa.remove_thread(asker, answerers)
         self._dense.remove_thread(asker, answerers)
 
+    def _maybe_compact(self) -> None:
+        """Rewrite the log without tombstones once they dominate it.
+
+        Row *values* are unchanged and per-user arrival order is
+        preserved (live row ids are remapped monotonically), so every
+        cached summary and every future freeze is unaffected.
+        """
+        if (
+            self._dead_rows < _COMPACT_MIN_DEAD
+            or self._dead_rows <= self._num_answers
+        ):
+            return
+        with perf.timer("state.compact"):
+            if self._user_rows:
+                live = np.sort(
+                    np.concatenate(
+                        [
+                            np.asarray(r, dtype=np.int64)
+                            for r in self._user_rows.values()
+                        ]
+                    )
+                )
+            else:
+                live = np.empty(0, dtype=np.int64)
+            self._log = self._log.compact(live)
+            for user, rows in self._user_rows.items():
+                self._user_rows[user] = np.searchsorted(
+                    live, np.asarray(rows, dtype=np.int64)
+                ).tolist()
+            self._dead_rows = 0
+        perf.incr("state.log_compactions")
+
     # -- freezing -------------------------------------------------------------
 
     def _refresh_summaries(self) -> None:
-        k = self.topics.n_topics
         refreshed = 0
         for user in self._dirty_users:
-            rows = self._rows.get(user)
+            rows = self._user_rows.get(user)
             if rows is None:
                 self._summaries.pop(user, None)
                 continue
-            n = len(rows)
-            history = _UserHistory(
-                answered_thread_ids=np.array(
-                    [r.thread_id for r in rows], dtype=int
-                ),
-                answered_question_topics=np.array(
-                    [r.question_topics for r in rows]
-                ).reshape(n, k),
-                answer_votes=np.array([r.votes for r in rows]),
-                response_times=np.array([r.response_time for r in rows]),
-                answer_topic_vectors=np.array(
-                    [r.answer_topics for r in rows]
-                ).reshape(n, k),
-            )
-            order = np.argsort(history.response_times, kind="stable")
-            rank = np.empty(n, dtype=np.int64)
-            rank[order] = np.arange(n)
-            tids = history.answered_thread_ids.tolist()
-            tid_rows: list[tuple[int, int]] | None
-            if len(set(tids)) != len(tids):
-                tid_rows = None
-            else:
-                tid_rows = list(zip(tids, range(n)))
-            self._summaries[user] = _UserSummary(
-                history=history,
-                votes_sum=float(history.answer_votes.sum()),
-                median_rt=float(np.median(history.response_times)),
-                d_u=history.answer_topic_vectors.mean(axis=0),
-                topic_sum=history.answer_topic_vectors.sum(axis=0),
-                times_sorted=history.response_times[order],
-                time_rank=rank,
-                tid_rows=tid_rows,
-            )
+            self._summaries[user] = user_summary(self._log, rows)
             refreshed += 1
         self._dirty_users.clear()
         perf.incr("state.users_refreshed", refreshed)
@@ -442,65 +448,12 @@ class ForumState:
             self._discussed_totals[user] = (total, count)
         self._dirty_discussed.clear()
 
-    def _assemble_tables(self) -> _BatchTables:
-        k = self.topics.n_topics
+    def _assemble_tables(self) -> BatchTables:
         # Canonical (sorted) user layout: the dict's insertion order
         # depends on the append/evict history, and the tables must be
         # identical however the window was reached.
-        users = sorted(self._rows)
-        u_count = len(users)
-        counts = np.array(
-            [len(self._rows[u]) for u in users], dtype=np.int64
-        )
-        total = int(counts.sum())
-        seg_start = np.zeros(u_count, dtype=np.int64)
-        if u_count > 1:
-            np.cumsum(counts[:-1], out=seg_start[1:])
-        votes_sum = np.empty(u_count)
-        median_rt = np.empty(u_count)
-        d_u = np.empty((u_count, k))
-        topic_sum = np.empty((u_count, k))
-        hist_topics = np.empty((total, k))
-        hist_votes = np.empty(total)
-        hist_answer_topics = np.empty((total, k))
-        times_sorted = np.empty(total)
-        time_rank = np.empty(total, dtype=np.int64)
-        row_of: dict[tuple[int, int], int] = {}
-        dup_users: set[int] = set()
-        for ui, user in enumerate(users):
-            s = self._summaries[user]
-            lo = int(seg_start[ui])
-            hi = lo + int(counts[ui])
-            votes_sum[ui] = s.votes_sum
-            median_rt[ui] = s.median_rt
-            d_u[ui] = s.d_u
-            topic_sum[ui] = s.topic_sum
-            h = s.history
-            hist_topics[lo:hi] = h.answered_question_topics
-            hist_votes[lo:hi] = h.answer_votes
-            hist_answer_topics[lo:hi] = h.answer_topic_vectors
-            times_sorted[lo:hi] = s.times_sorted
-            time_rank[lo:hi] = s.time_rank
-            if s.tid_rows is None:
-                dup_users.add(user)
-            else:
-                for tid, row in s.tid_rows:
-                    row_of[(user, tid)] = lo + row
-        return _BatchTables(
-            user_index={u: ui for ui, u in enumerate(users)},
-            n=counts,
-            votes_sum=votes_sum,
-            median_rt=median_rt,
-            d_u=d_u,
-            topic_sum=topic_sum,
-            seg_start=seg_start,
-            hist_topics=hist_topics,
-            hist_votes=hist_votes,
-            hist_answer_topics=hist_answer_topics,
-            times_sorted=times_sorted,
-            time_rank=time_rank,
-            row_of=row_of,
-            dup_users=dup_users,
+        return assemble_tables(
+            self._summaries, sorted(self._user_rows), self.topics.n_topics
         )
 
     def _refresh_centralities(
@@ -546,14 +499,18 @@ class ForumState:
             self._refresh_summaries()
             self._refresh_discussed()
             if self._rt_dirty:
-                all_times = [
-                    r.response_time
-                    for rows in self._rows.values()
-                    for r in rows
-                ]
-                self._global_median = (
-                    float(np.median(all_times)) if all_times else 1.0
-                )
+                if self._user_rows:
+                    rows = np.concatenate(
+                        [
+                            np.asarray(r, dtype=np.int64)
+                            for r in self._user_rows.values()
+                        ]
+                    )
+                    self._global_median = float(
+                        np.median(self._log.gather("response_time", rows))
+                    )
+                else:
+                    self._global_median = 1.0
                 self._rt_dirty = False
             qa_clo, qa_bet, dense_clo, dense_bet = self._refresh_centralities(
                 betweenness_sample_size, seed
@@ -561,7 +518,7 @@ class ForumState:
             self._frozen = FrozenState(
                 question_info=dict(self._question_info),
                 histories={
-                    u: self._summaries[u].history for u in self._rows
+                    u: self._summaries[u].history for u in self._user_rows
                 },
                 questions_asked=dict(self._questions_asked),
                 global_median_response=self._global_median,

@@ -5,6 +5,14 @@ from .generator import ForumConfig, SyntheticForum, generate_forum
 from .io import load_dataset, save_dataset
 from .models import HOURS_PER_DAY, Post, Thread
 from .stackexchange import load_api_json, load_posts_xml
+from .streaming import (
+    ScaleIngestReport,
+    StreamChunk,
+    UserGroundTruth,
+    ingest_to_shards,
+    sample_users,
+    stream_forum_chunks,
+)
 from .repair import RepairReport, repair_dataset
 from .validation import ValidationIssue, ValidationReport, validate_dataset
 from .stats import (
@@ -29,6 +37,12 @@ __all__ = [
     "save_dataset",
     "load_api_json",
     "load_posts_xml",
+    "ScaleIngestReport",
+    "StreamChunk",
+    "UserGroundTruth",
+    "ingest_to_shards",
+    "sample_users",
+    "stream_forum_chunks",
     "ValidationIssue",
     "ValidationReport",
     "validate_dataset",

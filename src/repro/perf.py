@@ -19,8 +19,11 @@ registry, and the parent times the whole dispatch instead.
 
 from __future__ import annotations
 
+import resource
+import sys
 import threading
 import time
+import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass
 
@@ -31,9 +34,15 @@ __all__ = [
     "use_registry",
     "timer",
     "incr",
+    "gauge_max",
+    "peak_rss_bytes",
+    "record_peak_rss",
     "report",
     "reset",
 ]
+
+# ``ru_maxrss`` is kilobytes on Linux, bytes on macOS.
+_RU_MAXRSS_SCALE = 1 if sys.platform == "darwin" else 1024
 
 
 @dataclass
@@ -57,6 +66,7 @@ class PerfRegistry:
         self._stages: dict[str, StageStat] = {}
         self._samples: dict[str, list[float]] = {}
         self._counters: dict[str, int] = {}
+        self._gauges: set[str] = set()
 
     # -- recording ---------------------------------------------------------
 
@@ -82,6 +92,20 @@ class PerfRegistry:
     def incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge_max(self, name: str, value: int) -> None:
+        """High-water counter: keeps the max ever recorded under ``name``.
+
+        Gauges live in the same namespace as counters (so
+        :meth:`counters_with_prefix` reports them), but :meth:`merge`
+        folds them with ``max`` instead of ``+`` — the peak RSS of a
+        process tree is the max over its members, not their sum.
+        """
+        with self._lock:
+            self._gauges.add(name)
+            current = self._counters.get(name)
+            if current is None or value > current:
+                self._counters[name] = int(value)
 
     # -- inspection --------------------------------------------------------
 
@@ -143,6 +167,7 @@ class PerfRegistry:
             return {
                 "samples": {n: list(s) for n, s in self._samples.items()},
                 "counters": dict(self._counters),
+                "gauges": sorted(self._gauges),
             }
 
     def merge(self, snap: dict) -> None:
@@ -150,8 +175,12 @@ class PerfRegistry:
         for name, samples in snap.get("samples", {}).items():
             for seconds in samples:
                 self.add_time(name, seconds)
+        gauges = set(snap.get("gauges", ()))
         for name, amount in snap.get("counters", {}).items():
-            self.incr(name, amount)
+            if name in gauges:
+                self.gauge_max(name, amount)
+            else:
+                self.incr(name, amount)
 
     def report(self) -> str:
         """Human-readable table of every stage and counter."""
@@ -174,6 +203,7 @@ class PerfRegistry:
             self._stages.clear()
             self._samples.clear()
             self._counters.clear()
+            self._gauges.clear()
 
 
 _REGISTRY = PerfRegistry()
@@ -217,6 +247,58 @@ def timer(name: str):
 
 def incr(name: str, amount: int = 1) -> None:
     _REGISTRY.incr(name, amount)
+
+
+def gauge_max(name: str, value: int) -> None:
+    _REGISTRY.gauge_max(name, value)
+
+
+def peak_rss_bytes(*, include_children: bool = False) -> int:
+    """Peak resident-set size of this process (bytes), from ``getrusage``.
+
+    ``ru_maxrss`` is a kernel-maintained high-water mark: it needs no
+    polling thread and cannot miss a transient spike.  With
+    ``include_children`` the max over waited-for children (shard
+    workers) is folded in — peaks don't add across processes, so the
+    max is the honest "largest single process" figure.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * _RU_MAXRSS_SCALE
+    if include_children:
+        child = (
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+            * _RU_MAXRSS_SCALE
+        )
+        peak = max(peak, child)
+    return int(peak)
+
+
+def record_peak_rss(
+    prefix: str = "mem", registry: PerfRegistry | None = None
+) -> dict[str, int]:
+    """Record memory high-water gauges under ``prefix``.
+
+    Writes ``<prefix>.peak_rss_bytes`` (this process) and
+    ``<prefix>.child_peak_rss_bytes`` (largest waited-for child); when
+    :mod:`tracemalloc` is tracing, ``<prefix>.tracemalloc_peak_bytes``
+    (python-allocation high water) is added too.  All are ``gauge_max``
+    counters, so repeated calls keep the running maximum and
+    ``counters_with_prefix(prefix + ".")`` returns the family.
+    """
+    reg = registry if registry is not None else _REGISTRY
+    values = {
+        f"{prefix}.peak_rss_bytes": peak_rss_bytes(),
+        f"{prefix}.child_peak_rss_bytes": int(
+            resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+            * _RU_MAXRSS_SCALE
+        ),
+    }
+    if tracemalloc.is_tracing():
+        values[f"{prefix}.tracemalloc_peak_bytes"] = (
+            tracemalloc.get_traced_memory()[1]
+        )
+    for name, value in values.items():
+        reg.gauge_max(name, value)
+    return values
 
 
 def report() -> str:

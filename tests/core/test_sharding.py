@@ -1,0 +1,211 @@
+"""Shared-nothing sharded routing: bit-identity with the dense path.
+
+The contract the sharded state engine ships under: at *any* shard
+count, inline or across worker processes, replaying the router over the
+same window produces bit-identical recommendations to the single-shard
+dense path — same eligible users, same LP probabilities, same scores,
+same raw predictions.  Shard workers return feature rows; the parent
+restores the canonical user order and runs the model heads once, so
+there is no shape-dependent arithmetic to drift.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import ForumPredictor
+from repro.core.retrieval import RetrievalConfig
+from repro.core.routing import QuestionRouter
+from repro.core.sharding import ShardPlan, ShardedRouter, slice_tables
+
+
+@pytest.fixture(scope="module")
+def predictor(dataset, predictor_config):
+    return ForumPredictor(predictor_config).fit(dataset)
+
+
+@pytest.fixture(scope="module")
+def query_threads(dataset):
+    return sorted(dataset, key=lambda t: t.created_at)[-6:]
+
+
+@pytest.fixture(scope="module")
+def candidates(dataset):
+    users = set()
+    for thread in dataset:
+        users.update(thread.answerers)
+    known = np.array(sorted(users), dtype=np.int64)
+    unknown = known.max() + np.array([10, 11, 12])
+    return np.concatenate([known, unknown])
+
+
+def assert_results_identical(a, b):
+    if a is None or b is None:
+        assert a is None and b is None
+        return
+    assert a.question_id == b.question_id
+    np.testing.assert_array_equal(a.users, b.users)
+    np.testing.assert_array_equal(a.probabilities, b.probabilities)
+    np.testing.assert_array_equal(a.scores, b.scores)
+    assert set(a.predictions) == set(b.predictions)
+    for key in a.predictions:
+        np.testing.assert_array_equal(a.predictions[key], b.predictions[key])
+
+
+class TestShardPlan:
+    def test_partition_covers_and_is_disjoint(self):
+        plan = ShardPlan(4)
+        users = np.arange(100)
+        masks = [plan.mask(users, s) for s in range(4)]
+        total = np.zeros(100, dtype=int)
+        for mask in masks:
+            total += mask
+        assert np.all(total == 1)
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardPlan(0)
+
+
+class TestSliceTables:
+    def test_full_slice_is_identity(self, predictor):
+        tables = predictor.extractor.frozen.batch_tables
+        sliced = slice_tables(tables, list(tables.user_index))
+        assert sliced.user_index == tables.user_index
+        np.testing.assert_array_equal(sliced.d_u, tables.d_u)
+        np.testing.assert_array_equal(sliced.seg_start, tables.seg_start)
+        np.testing.assert_array_equal(sliced.hist_votes, tables.hist_votes)
+        np.testing.assert_array_equal(sliced.times_sorted, tables.times_sorted)
+        assert sliced.row_of == tables.row_of
+
+    def test_subset_rows_are_exact_copies(self, predictor):
+        tables = predictor.extractor.frozen.batch_tables
+        subset = list(tables.user_index)[::3]
+        sliced = slice_tables(tables, subset)
+        assert list(sliced.user_index) == subset
+        assert list(sliced.user_index.values()) == list(range(len(subset)))
+        for i, user in enumerate(subset):
+            j = tables.user_index[user]
+            np.testing.assert_array_equal(sliced.d_u[i], tables.d_u[j])
+            assert sliced.n[i] == tables.n[j]
+            a0, a1 = sliced.seg_start[i], sliced.seg_start[i] + sliced.n[i]
+            b0, b1 = tables.seg_start[j], tables.seg_start[j] + tables.n[j]
+            np.testing.assert_array_equal(
+                sliced.hist_votes[a0:a1], tables.hist_votes[b0:b1]
+            )
+            np.testing.assert_array_equal(
+                sliced.times_sorted[a0:a1], tables.times_sorted[b0:b1]
+            )
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n_shards", [1, 2, 4, 8])
+    def test_inline_shards_match_dense(
+        self, predictor, query_threads, candidates, n_shards
+    ):
+        dense = QuestionRouter(predictor, epsilon=0.3, default_capacity=3.0)
+        sorted_candidates = np.sort(candidates)
+        expected = [
+            dense.recommend(t, sorted_candidates, tradeoff=0.1)
+            for t in query_threads
+        ]
+        sharded = ShardedRouter(
+            predictor, n_shards, epsilon=0.3, default_capacity=3.0
+        )
+        got = sharded.route_batch(query_threads, candidates, tradeoff=0.1)
+        for a, b in zip(expected, got):
+            assert_results_identical(a, b)
+
+    def test_capacities_and_load_thread_through(
+        self, predictor, query_threads, candidates
+    ):
+        sorted_candidates = np.sort(candidates)
+        load = {int(u): int(u) % 3 for u in sorted_candidates[:40]}
+        caps = {int(u): 2.0 for u in sorted_candidates[:25]}
+        dense = QuestionRouter(predictor, epsilon=0.3, default_capacity=3.0)
+        sharded = ShardedRouter(
+            predictor, 3, epsilon=0.3, default_capacity=3.0
+        )
+        for thread in query_threads[:3]:
+            a = dense.recommend(
+                thread,
+                sorted_candidates,
+                tradeoff=0.2,
+                recent_load=load,
+                capacities=caps,
+            )
+            b = sharded.route(
+                thread,
+                candidates,
+                tradeoff=0.2,
+                recent_load=load,
+                capacities=caps,
+            )
+            assert_results_identical(a, b)
+
+    def test_process_mode_matches_inline(
+        self, predictor, query_threads, candidates
+    ):
+        inline = ShardedRouter(
+            predictor, 2, epsilon=0.3, default_capacity=3.0, mode="inline"
+        )
+        expected = inline.route_batch(
+            query_threads[:3], candidates, tradeoff=0.1
+        )
+        with ShardedRouter(
+            predictor, 2, epsilon=0.3, default_capacity=3.0, mode="process"
+        ) as procs:
+            got = procs.route_batch(query_threads[:3], candidates, tradeoff=0.1)
+        for a, b in zip(expected, got):
+            assert_results_identical(a, b)
+
+
+class TestTwoStagePools:
+    @pytest.mark.parametrize("n_shards", [2, 4, 8])
+    def test_pools_invariant_to_shard_count(
+        self, predictor, query_threads, candidates, n_shards
+    ):
+        retrieval = RetrievalConfig(
+            topic_top_k=8, recency_top_k=16, pool_size=24, use_mf=False
+        )
+        base = ShardedRouter(predictor, 1, retrieval=retrieval)
+        expected = base.candidate_pools(
+            query_threads, np.sort(candidates)
+        )
+        sharded = ShardedRouter(predictor, n_shards, retrieval=retrieval)
+        got = sharded.candidate_pools(query_threads, np.sort(candidates))
+        for a, b in zip(expected, got):
+            np.testing.assert_array_equal(a, b)
+
+    def test_unknown_candidates_always_in_pool(
+        self, predictor, query_threads, candidates
+    ):
+        retrieval = RetrievalConfig(
+            topic_top_k=8, recency_top_k=16, pool_size=24, use_mf=False
+        )
+        sharded = ShardedRouter(predictor, 2, retrieval=retrieval)
+        pools = sharded.candidate_pools(query_threads, np.sort(candidates))
+        unknown = np.sort(candidates)[-3:]
+        for pool in pools:
+            assert np.all(np.isin(unknown, pool))
+
+    def test_two_stage_routing_matches_across_shard_counts(
+        self, predictor, query_threads, candidates
+    ):
+        retrieval = RetrievalConfig(
+            topic_top_k=8, recency_top_k=16, pool_size=24, use_mf=False
+        )
+        results = []
+        for n_shards in (1, 2, 4):
+            router = ShardedRouter(
+                predictor,
+                n_shards,
+                epsilon=0.3,
+                default_capacity=3.0,
+                retrieval=retrieval,
+            )
+            results.append(
+                router.route_batch(query_threads, candidates, tradeoff=0.1)
+            )
+        for other in results[1:]:
+            for a, b in zip(results[0], other):
+                assert_results_identical(a, b)

@@ -247,3 +247,27 @@ class TestValidate:
         assert code == 0
         repaired = load_dataset(fixed)
         assert repaired.thread(0).answerers == [3]  # self-answer dropped
+
+
+class TestScale:
+    def test_streams_and_prints_report(self, capsys):
+        code = main(
+            [
+                "scale",
+                "--users",
+                "2000",
+                "--questions",
+                "1500",
+                "--shards",
+                "3",
+                "--chunk-questions",
+                "500",
+                "--seed",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "streamed 1500 questions" in out
+        assert "shard 2:" in out
+        assert "peak RSS" in out

@@ -93,6 +93,62 @@ class TestPerfRegistry:
         assert registry.stage("stage").calls == 2000
 
 
+class TestGauges:
+    def test_gauge_max_keeps_maximum(self, registry):
+        registry.gauge_max("mem.peak", 100)
+        registry.gauge_max("mem.peak", 40)
+        registry.gauge_max("mem.peak", 250)
+        assert registry.counter("mem.peak") == 250
+
+    def test_gauges_visible_through_counter_prefix(self, registry):
+        registry.gauge_max("mem.peak_rss_bytes", 7)
+        registry.incr("mem.allocs", 3)
+        family = registry.counters_with_prefix("mem.")
+        assert family == {"mem.peak_rss_bytes": 7, "mem.allocs": 3}
+
+    def test_merge_folds_gauges_with_max_and_counters_with_sum(self, registry):
+        other = PerfRegistry()
+        other.gauge_max("mem.peak", 500)
+        other.incr("events", 5)
+        registry.gauge_max("mem.peak", 900)
+        registry.incr("events", 2)
+        registry.merge(other.snapshot())
+        assert registry.counter("mem.peak") == 900  # max, not 1400
+        assert registry.counter("events") == 7  # sum
+
+    def test_reset_clears_gauge_markers(self, registry):
+        registry.gauge_max("g", 10)
+        registry.reset()
+        registry.incr("g", 1)
+        registry.incr("g", 1)
+        assert registry.counter("g") == 2  # plain counter again
+
+
+class TestPeakRss:
+    def test_peak_rss_positive_and_monotone(self):
+        first = perf.peak_rss_bytes()
+        assert first > 0
+        assert perf.peak_rss_bytes() >= first
+        assert perf.peak_rss_bytes(include_children=True) >= first
+
+    def test_record_peak_rss_writes_gauges(self):
+        with perf.use_registry() as reg:
+            values = perf.record_peak_rss("testmem")
+        assert values["testmem.peak_rss_bytes"] > 0
+        family = reg.counters_with_prefix("testmem.")
+        assert family["testmem.peak_rss_bytes"] == values[
+            "testmem.peak_rss_bytes"
+        ]
+        assert "testmem.child_peak_rss_bytes" in family
+
+    def test_record_peak_rss_is_a_high_water_mark(self):
+        reg = PerfRegistry()
+        perf.record_peak_rss("hw", registry=reg)
+        first = reg.counter("hw.peak_rss_bytes")
+        perf.record_peak_rss("hw", registry=reg)
+        assert reg.counter("hw.peak_rss_bytes") >= first
+
+
 class TestModuleLevelApi:
     def test_default_registry_is_shared(self):
         assert perf.get_registry() is perf.get_registry()
