@@ -8,6 +8,8 @@ Subcommands cover the library's end-to-end workflow:
 * ``evaluate``  — run the Table-I comparison on a dataset;
 * ``route``     — recommend answerers for a question with a saved model;
 * ``replay``    — stream a dataset through the online deployment loop;
+* ``serve``     — run a seeded concurrent load test against the async
+  serving stack and print latency percentiles;
 * ``validate``  — check a dataset file for integrity violations;
 * ``scale``     — stream a large synthetic forum into sharded columnar logs.
 
@@ -142,6 +144,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(keys: seed, dup[licate], ooo/out_of_order, nan/missing, "
         "skew/clock_skew, skew_hours, trunc[ate], delay/max_delay)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="drive a seeded concurrent load test against the async "
+        "serving stack (admission control + micro-batching) and print "
+        "latency percentiles",
+    )
+    serve.add_argument("--input", type=Path, required=True)
+    serve.add_argument("--askers", type=int, default=1000,
+                       help="concurrent question askers in the load run")
+    serve.add_argument("--events", type=int, default=200,
+                       help="event submissions interleaved with the queries")
+    serve.add_argument("--duration", type=float, default=60.0,
+                       help="virtual seconds the arrival schedule spans")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--topics", type=int, default=8)
+    serve.add_argument("--betweenness-samples", type=int, default=None)
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="micro-batcher coalescing limit")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="micro-batcher max collection window")
+    serve.add_argument("--max-pending-queries", type=int, default=512,
+                       help="admission bound on the query queue")
+    serve.add_argument("--max-pending-events", type=int, default=4096,
+                       help="admission bound on the event queue")
 
     scale = sub.add_parser(
         "scale",
@@ -367,6 +394,84 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .core.serving import (
+        AdmissionConfig,
+        BatchPolicy,
+        RecommendationService,
+        ServiceConfig,
+        ServingCore,
+        run_load,
+    )
+    from .forum.traffic import TrafficConfig, generate_traffic
+
+    dataset = load_dataset(args.input)
+    core = ServingCore(_config_from_args(args), OnlineConfig())
+    service = RecommendationService(
+        core,
+        ServiceConfig(
+            admission=AdmissionConfig(
+                max_pending_events=args.max_pending_events,
+                max_pending_queries=args.max_pending_queries,
+            ),
+            batch=BatchPolicy(
+                max_batch=args.max_batch,
+                max_wait_s=args.max_wait_ms / 1000.0,
+            ),
+        ),
+    )
+    print(f"warming on {len(dataset)} threads ...")
+    service.warm(dataset)
+    health = service.health()
+    if not health["warmed"]:
+        print("error: dataset too small to warm the model", file=sys.stderr)
+        return 1
+    traffic = generate_traffic(
+        dataset,
+        TrafficConfig(
+            n_askers=args.askers,
+            n_events=args.events,
+            duration_s=args.duration,
+            seed=args.seed,
+        ),
+    )
+    report = run_load(service, traffic)
+    metrics = report.metrics
+    print(
+        f"load: {report.n_queries} queries + {report.n_events} events over "
+        f"{args.duration:.0f}s virtual ({report.wall_s:.2f}s wall, "
+        f"{report.requests_per_wall_s:.0f} req/s sustained)"
+    )
+    print(
+        f"admission: {metrics['queries']['admitted']} queries admitted, "
+        f"{metrics['queries']['rejected']} rejected; "
+        f"{metrics['events']['admitted']} events admitted, "
+        f"{metrics['events']['rejected']} rejected"
+    )
+    print(
+        f"batching: {metrics['queries']['batches']} batches, "
+        f"mean size {metrics['queries']['mean_batch_size']:.2f}"
+    )
+    latency = metrics["query_latency"]
+    if latency["count"]:
+        print(
+            f"query latency (virtual): p50 {latency['p50_ms']:.2f}ms  "
+            f"p95 {latency['p95_ms']:.2f}ms  p99 {latency['p99_ms']:.2f}ms"
+        )
+    statuses = ", ".join(
+        f"{status}={count}"
+        for status, count in sorted(report.query_statuses.items())
+    )
+    print(f"responses: {statuses}; {report.n_degraded} degraded")
+    summary = service.degradation.summary()
+    if summary:
+        print("degradation:")
+        for action, count in sorted(summary.items()):
+            print(f"  {action}: {count}")
+    print(f"health: {service.health()['status']}")
+    return 0
+
+
 def _cmd_scale(args) -> int:
     import time
 
@@ -461,6 +566,7 @@ _COMMANDS = {
     "validate": _cmd_validate,
     "route": _cmd_route,
     "replay": _cmd_replay,
+    "serve": _cmd_serve,
     "scale": _cmd_scale,
 }
 

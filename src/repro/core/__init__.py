@@ -59,6 +59,18 @@ from .routing import (
     finish_recommendation,
     solve_routing_lp,
 )
+from .serving import (
+    AdmissionConfig,
+    BatchPolicy,
+    CostModel,
+    RecommendationService,
+    RouteResponse,
+    ServiceConfig,
+    ServingCore,
+    SubmitResult,
+    VirtualClock,
+    run_load,
+)
 from .sharding import ShardedRouter, ShardPlan
 from .state import ForumState, FrozenState
 from .timing_model import TimingModel
@@ -136,6 +148,16 @@ __all__ = [
     "TIME_DTYPE",
     "VALUE_DTYPE",
     "IdOverflowError",
+    "AdmissionConfig",
+    "BatchPolicy",
+    "CostModel",
+    "RecommendationService",
+    "RouteResponse",
+    "ServiceConfig",
+    "ServingCore",
+    "SubmitResult",
+    "VirtualClock",
+    "run_load",
     "ShardedRouter",
     "ShardPlan",
     "ForumState",

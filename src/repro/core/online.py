@@ -12,6 +12,17 @@ Unlike the cross-validation harness, nothing here ever looks into the
 future: features, graphs and topics come only from threads created
 before the question being routed.
 
+The engine itself — fixed-grid refits, the two refit strategies,
+candidate preparation, ranking + Sec.-V-LP routing, window state and
+the resilient-recovery machinery — lives in
+:class:`~repro.core.serving.service.ServingCore`, shared with the
+async :class:`~repro.core.serving.service.RecommendationService`.
+:class:`OnlineRecommendationLoop` is the thin chronological driver over
+that core: it replays a dataset one thread at a time and produces the
+same :class:`OnlineReport` it always did, bit for bit, so it remains
+the reference both for the cross-validation comparison and for the
+serving-stack equivalence tests.
+
 Refits run on a fixed grid (``warmup_hours``, then every
 ``refit_interval_hours``) anchored to the stream clock, not to arrival
 times, so cadence cannot drift when questions arrive in bursts; grid
@@ -54,127 +65,27 @@ tests assert.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from .. import perf
 from ..forum.dataset import ForumDataset
-from ..forum.models import Thread
-from ..ml.ranking import mean_reciprocal_rank, ndcg_at_k, precision_at_k
-from .pipeline import ForumPredictor, PredictorConfig
+from .pipeline import PredictorConfig
 from .resilience import (
     DegradationReport,
     FaultInjector,
     FaultPlan,
     ResilienceConfig,
-    StreamGuard,
 )
-from .retrieval import CandidateRetriever, RetrievalConfig
-from .routing import QuestionRouter, UserLoadTracker
-from .state import ForumState
+from .serving.service import OnlineConfig, OnlineReport, ServingCore
 
 __all__ = ["OnlineConfig", "OnlineReport", "OnlineRecommendationLoop"]
 
-# A refit window must hold at least this many threads and answers for
-# the models to be trainable at all.
-_MIN_THREADS = 10
-_MIN_ANSWERS = 10
-
-
-@dataclass(frozen=True)
-class OnlineConfig:
-    """Deployment-loop parameters."""
-
-    refit_interval_hours: float = 120.0
-    window_hours: float = 480.0  # sliding feature/training window
-    warmup_hours: float = 120.0  # history required before routing starts
-    epsilon: float = 0.3
-    tradeoff: float = 0.2
-    default_capacity: float = 5.0
-    top_k: int = 5
-    refit_strategy: str = "incremental"  # or "rebuild"
-    warm_start: bool = True
-    # Worker processes for the three per-task model fits inside each
-    # refit; None defers to REPRO_N_JOBS (default serial).
-    n_jobs: int | None = None
-    # Two-stage candidate retrieval for the routing/ranking hot path;
-    # None keeps the dense score-every-candidate behaviour.
-    retrieval: RetrievalConfig | None = None
-    # Maintain an incremental per-user answer-load counter and enforce
-    # it as remaining capacity in every LP (previously the online loop
-    # routed without load constraints).
-    track_load: bool = True
-    load_window_hours: float = 24.0
-
-    def __post_init__(self):
-        if self.refit_interval_hours <= 0 or self.window_hours <= 0:
-            raise ValueError("intervals must be positive")
-        if self.warmup_hours < 0:
-            raise ValueError("warmup_hours must be non-negative")
-        if self.top_k < 1:
-            raise ValueError("top_k must be >= 1")
-        if self.refit_strategy not in ("incremental", "rebuild"):
-            raise ValueError(
-                "refit_strategy must be 'incremental' or 'rebuild'"
-            )
-        if self.refit_strategy == "incremental" and not self.warm_start:
-            raise ValueError(
-                "incremental refits require warm_start: the state embeds "
-                "topic vectors, so the topic model cannot be refit cold"
-            )
-        if self.load_window_hours <= 0:
-            raise ValueError("load_window_hours must be positive")
-
-
-@dataclass
-class OnlineReport:
-    """Outcome of one simulated deployment.
-
-    ``rankings`` orders candidates by predicted answer probability (the
-    task-(i) model) and is scored against who actually answered;
-    ``routed_scores`` records the LP objective of each routed pick.
-    """
-
-    n_questions_seen: int = 0
-    n_routed: int = 0
-    n_refits: int = 0
-    rankings: list[tuple[list[int], set[int]]] = field(default_factory=list)
-    routed_scores: list[float] = field(default_factory=list)
-    # Populated only by resilient runs: what was dropped/repaired/retried.
-    degradation: DegradationReport | None = None
-
-    @property
-    def hit_rate_at_1(self) -> float:
-        if not self.rankings:
-            return float("nan")
-        return float(
-            np.mean([precision_at_k(r, rel, 1) for r, rel in self.rankings])
-        )
-
-    def precision_at(self, k: int) -> float:
-        if not self.rankings:
-            return float("nan")
-        return float(
-            np.mean([precision_at_k(r, rel, k) for r, rel in self.rankings])
-        )
-
-    @property
-    def mrr(self) -> float:
-        if not self.rankings:
-            return float("nan")
-        return mean_reciprocal_rank(self.rankings)
-
-    def ndcg_at(self, k: int) -> float:
-        if not self.rankings:
-            return float("nan")
-        return float(
-            np.mean([ndcg_at_k(r, rel, k) for r, rel in self.rankings])
-        )
-
 
 class OnlineRecommendationLoop:
-    """Replays a dataset through periodic-refit routing."""
+    """Replays a dataset through periodic-refit routing.
+
+    A thin synchronous driver over :class:`ServingCore`: every refit,
+    routing and state decision is delegated, so a replay here and a
+    virtual-clock run of the async service execute the same engine
+    code on the same schedule.
+    """
 
     def __init__(
         self,
@@ -182,100 +93,35 @@ class OnlineRecommendationLoop:
         online_config: OnlineConfig | None = None,
         resilience_config: ResilienceConfig | None = None,
     ):
-        self.predictor_config = predictor_config or PredictorConfig()
-        self.online_config = online_config or OnlineConfig()
-        self.resilience_config = resilience_config
-        self._predictor: ForumPredictor | None = None
-        self._state: ForumState | None = None
-        self._router: QuestionRouter | None = None
-        self._candidates: list[int] = []
-        # Shared across refit strategies: the retriever persists so its
-        # indices refresh (and MF warm-starts) instead of rebuilding,
-        # and the load tracker accumulates the replayed answer events.
-        self._retriever: CandidateRetriever | None = None
-        self._load = UserLoadTracker(self.online_config.load_window_hours)
-        # Resilient-path bookkeeping: the last window that refit cleanly
-        # (the fallback snapshot) and the consecutive-failure count that
-        # drives the schedule-level backoff.
-        self._last_good: ForumDataset | None = None
-        self._refit_failures = 0
-
-    def _feasible(self, n_threads: int, n_answers: int) -> bool:
-        return n_threads >= _MIN_THREADS and n_answers >= _MIN_ANSWERS
-
-    def _refit(self, dataset: ForumDataset, now: float) -> bool:
-        """Refit on the window ending at ``now``; False when infeasible."""
-        cfg = self.online_config
-        if self._predictor is None:
-            self._predictor = ForumPredictor(self.predictor_config)
-        predictor = self._predictor
-        start = max(0.0, now - cfg.window_hours)
-        if cfg.refit_strategy == "rebuild":
-            window = dataset.threads_in_window(start, now)
-            if not self._feasible(len(window), window.num_answers):
-                return False
-            with perf.timer("online.refit"):
-                predictor.fit(
-                    window, warm_start=cfg.warm_start, n_jobs=cfg.n_jobs
-                )
-            candidates = window.answerers
-        elif self._state is None:
-            # First feasible refit: fit topics once, then bootstrap the
-            # long-lived state from the current window.
-            window = dataset.threads_in_window(start, now)
-            if not self._feasible(len(window), window.num_answers):
-                return False
-            with perf.timer("online.refit"):
-                predictor.fit_topics(window)
-                self._state = predictor.build_state(window)
-                predictor.refit_from_state(self._state, n_jobs=cfg.n_jobs)
-            candidates = self._state.answerers
-        else:
-            self._state.evict(start)
-            if not self._feasible(len(self._state), self._state.num_answers):
-                return False
-            with perf.timer("online.refit"):
-                predictor.refit_from_state(self._state, n_jobs=cfg.n_jobs)
-            candidates = self._state.answerers
-        self._bind_router(candidates)
-        return True
-
-    def _bind_router(self, candidates) -> None:
-        cfg = self.online_config
-        self._router = QuestionRouter(
-            self._predictor,
-            epsilon=cfg.epsilon,
-            default_capacity=cfg.default_capacity,
-            load_window_hours=cfg.load_window_hours,
-            retriever=self._bind_retriever(),
-            load_tracker=self._load if cfg.track_load else None,
+        self.core = ServingCore(
+            predictor_config, online_config, resilience_config
         )
-        self._candidates = sorted(candidates)
 
-    def _bind_retriever(self) -> CandidateRetriever | None:
-        """Build or refresh the candidate indices after a refit.
+    @property
+    def predictor_config(self) -> PredictorConfig:
+        return self.core.predictor_config
 
-        The retriever outlives individual refits: the topic index is
-        diffed row-wise against the new frozen tables, the MF embedding
-        warm-starts from its previous factors, and (on the incremental
-        arm) the recency index rides the state's append/evict events.
-        """
-        cfg = self.online_config
-        if cfg.retrieval is None or cfg.retrieval.mode != "two_stage":
-            return None
-        if self._retriever is None:
-            self._retriever = CandidateRetriever(
-                cfg.retrieval, self._predictor.topics
-            )
-        else:
-            self._retriever.topics = self._predictor.topics
-        if self._state is not None:
-            self._retriever.attach(self._state)
-        else:
-            self._retriever.detach()
-        extractor = self._predictor.extractor
-        self._retriever.refresh(extractor.frozen, extractor.window)
-        return self._retriever
+    @property
+    def online_config(self) -> OnlineConfig:
+        return self.core.online_config
+
+    @property
+    def resilience_config(self) -> ResilienceConfig | None:
+        return self.core.resilience_config
+
+    @property
+    def guard(self):
+        return self.core.guard
+
+    # Tests wrap the refit entry point to inject failures; delegate to
+    # the core's hook so the recovery path picks the wrapper up too.
+    @property
+    def _refit(self):
+        return self.core.refit_hook
+
+    @_refit.setter
+    def _refit(self, hook) -> None:
+        self.core.refit_hook = hook
 
     def run(
         self, dataset: ForumDataset, fault_plan: FaultPlan | None = None
@@ -291,30 +137,20 @@ class OnlineRecommendationLoop:
         and replayed through the hardened path; the returned report then
         carries a :class:`~repro.core.resilience.DegradationReport`.
         """
-        if fault_plan is None and self.resilience_config is None:
+        if fault_plan is None and self.core.resilience_config is None:
             return self._run_plain(dataset)
         return self._run_resilient(dataset, fault_plan)
 
     def _run_plain(self, dataset: ForumDataset) -> OnlineReport:
-        cfg = self.online_config
+        core = self.core
         report = OnlineReport()
-        next_refit = cfg.warmup_hours
         for thread in dataset:  # already chronological
             now = thread.created_at
-            if now >= next_refit:
-                if self._refit(dataset, now):
-                    report.n_refits += 1
-                # Advance on the fixed grid, catching up over gaps, so
-                # the cadence never drifts with arrival times.
-                while next_refit <= now:
-                    next_refit += cfg.refit_interval_hours
-            self._route(thread, now, report)
+            core.maybe_refit(dataset, now, report)
+            core.route(thread, now, report)
             # Fold the thread into the live window only after it has
             # been routed — it must not inform its own recommendation.
-            if cfg.track_load:
-                self._load.observe_thread(thread)
-            if self._state is not None:
-                self._state.append(thread)
+            core.observe(thread)
         return report
 
     def _run_resilient(
@@ -327,219 +163,28 @@ class OnlineRecommendationLoop:
         from the admitted prefix with the same end-exclusive slicing,
         and routing/appending happen in the same order.
         """
-        cfg = self.online_config
-        res = self.resilience_config or ResilienceConfig()
+        core = self.core
+        res = core.resilience_config or ResilienceConfig()
         report = OnlineReport()
         degradation = DegradationReport()
         report.degradation = degradation
-        guard = StreamGuard(res, degradation)
-        self.guard = guard
+        guard = core.attach_guard(res, degradation)
         if fault_plan is not None:
             stream = FaultInjector(fault_plan).perturb(dataset)
         else:
             stream = list(dataset)
-        accepted: list[Thread] = []
-        skip_refits = 0
-        next_refit = cfg.warmup_hours
         for event in stream:
             thread = guard.admit(event)
             if thread is None:
                 continue
-            accepted.append(thread)
+            # The current event sits last in ``accepted``; the
+            # end-exclusive window slice excludes it, exactly as the
+            # plain path excludes it from the full dataset.
+            core.accepted.append(thread)
             now = thread.created_at
-            if now >= next_refit:
-                if skip_refits > 0:
-                    skip_refits -= 1
-                    degradation.add(
-                        -1, -1, "refit:backoff_skipped",
-                        f"{skip_refits} grid intervals of backoff remain",
-                    )
-                else:
-                    # The current event sits last in ``accepted``; the
-                    # end-exclusive window slice excludes it, exactly as
-                    # the plain path excludes it from the full dataset.
-                    ok = self._refit_with_recovery(
-                        ForumDataset(accepted), now, degradation, res
-                    )
-                    if ok:
-                        report.n_refits += 1
-                    elif self._refit_failures > 0:
-                        skip_refits = min(
-                            res.backoff_base ** (self._refit_failures - 1),
-                            res.max_backoff_intervals,
-                        )
-                while next_refit <= now:
-                    next_refit += cfg.refit_interval_hours
-            self._route(thread, now, report, degradation)
-            if cfg.track_load:
-                self._load.observe_thread(thread)
-            if self._state is not None:
-                if thread.created_at >= self._state.last_created:
-                    self._state.append(thread)
-                else:  # unreachable once admitted; belt and braces
-                    degradation.add(
-                        guard._seq, thread.thread_id, "dropped:stale_event",
-                        "behind the live state clock after admission",
-                    )
+            core.maybe_refit_resilient(now, report, degradation, res)
+            core.route(thread, now, report, degradation)
+            # Routed first, observed second — the thread must not
+            # inform its own recommendation.
+            core.observe_admitted(thread, degradation)
         return report
-
-    def _refit_with_recovery(
-        self,
-        window_dataset: ForumDataset,
-        now: float,
-        degradation: DegradationReport,
-        res: ResilienceConfig,
-    ) -> bool:
-        """Bounded retry around ``_refit``; snapshot fallback on failure.
-
-        Retries cover transient faults (worker death, allocation
-        failure); a deterministic poison — e.g.
-        :class:`~repro.core.resilience.NonFiniteFeatureError` from a
-        corrupt window — fails every attempt and lands in the fallback,
-        which restores the last cleanly fitted window and retrains on
-        it.  Threads admitted after that snapshot are dropped from the
-        training window (they remain routed); serving never stops.
-        """
-        cfg = self.online_config
-        prior_state = self._state
-        attempts = 0
-        while True:
-            try:
-                ok = self._refit(window_dataset, now)
-            except Exception as exc:  # noqa: BLE001 — recovery boundary
-                attempts += 1
-                self._state = prior_state
-                perf.incr("resilience.refit_retries")
-                degradation.add(
-                    -1, -1, "refit:retry",
-                    f"attempt {attempts}: {type(exc).__name__}: {exc}"[:200],
-                )
-                if attempts <= res.max_refit_retries:
-                    continue
-                self._refit_failures += 1
-                self._fallback_to_snapshot(degradation, exc)
-                return False
-            break
-        if ok:
-            self._refit_failures = 0
-            # Snapshot the window that just fitted cleanly: for the
-            # incremental arm the live state, for rebuild the slice.
-            if self._state is not None:
-                self._last_good = self._state.to_dataset()
-            else:
-                self._last_good = window_dataset.threads_in_window(
-                    max(0.0, now - cfg.window_hours), now
-                )
-        return ok
-
-    def _fallback_to_snapshot(
-        self, degradation: DegradationReport, exc: Exception
-    ) -> None:
-        """Restore the last-good window and retrain, keeping serving up."""
-        cfg = self.online_config
-        if self._last_good is None or self._predictor is None:
-            # Nothing fitted cleanly yet: flush the poisoned bootstrap
-            # state and let a later grid point try again once the
-            # window has slid past the corrupt threads.
-            self._state = None
-            degradation.add(
-                -1, -1, "refit:fallback_unavailable",
-                f"{type(exc).__name__} before any successful refit",
-            )
-            return
-        perf.incr("resilience.refit_fallbacks")
-        degradation.add(
-            -1, -1, "refit:fallback",
-            f"{type(exc).__name__}: restored last-good window of "
-            f"{len(self._last_good)} threads",
-        )
-        try:
-            if cfg.refit_strategy == "rebuild":
-                self._predictor.fit(
-                    self._last_good,
-                    warm_start=cfg.warm_start,
-                    n_jobs=cfg.n_jobs,
-                )
-                candidates = self._last_good.answerers
-            else:
-                self._state = ForumState.from_dataset(
-                    self._last_good, self._predictor.topics
-                )
-                self._predictor.refit_from_state(
-                    self._state, n_jobs=cfg.n_jobs
-                )
-                candidates = self._state.answerers
-            self._bind_router(candidates)
-        except Exception as inner:  # noqa: BLE001 — keep stale router
-            degradation.add(
-                -1, -1, "refit:fallback_unavailable",
-                f"snapshot retrain failed ({type(inner).__name__}); "
-                "continuing with the previous router",
-            )
-
-    def _route(
-        self,
-        thread,
-        now: float,
-        report: OnlineReport,
-        degradation: DegradationReport | None = None,
-    ) -> None:
-        cfg = self.online_config
-        if self._router is None or now < cfg.warmup_hours:
-            return
-        report.n_questions_seen += 1
-        candidates = [u for u in self._candidates if u != thread.asker]
-        if not candidates:
-            return
-        # Two-stage retrieval: one pool per question, shared by the
-        # ranking and the LP; dense mode scores every candidate.
-        pool = None
-        rank_candidates = candidates
-        if self._router.retriever is not None:
-            pool = self._router.candidate_pool(thread, candidates)
-            if pool.size:
-                rank_candidates = [int(u) for u in pool]
-            elif not self._router.retriever.config.dense_fallback:
-                return
-            # Empty pool with fallback enabled: rank densely here and
-            # let recommend() take its own dense retry on the same pool.
-        # Who-will-answer ranking: candidates by predicted a_uq
-        # (batch-featurized across the whole candidate set).
-        with perf.timer("online.rank"):
-            predictions = self._router.predictor.predict_batch(
-                [(u, thread) for u in rank_candidates]
-            )
-        perf.incr("online.candidate_pairs", len(rank_candidates))
-        scores = predictions["answer"]
-        if degradation is not None:
-            bad = ~np.isfinite(scores)
-            if bad.any():
-                degradation.add(
-                    -1, thread.thread_id, "masked:nonfinite_score",
-                    f"{int(bad.sum())} of {len(scores)} candidate scores",
-                )
-                scores = np.where(bad, -np.inf, scores)
-        order = np.argsort(-scores, kind="stable")
-        ranked = [rank_candidates[i] for i in order[: cfg.top_k]]
-        actual = set(thread.answerers)
-        if actual:
-            report.rankings.append((ranked, actual))
-        # Routing pick: the Sec.-V LP over the eligible set (the pool,
-        # when two-stage retrieval already narrowed it).
-        with perf.timer("online.route"):
-            result = self._router.recommend(
-                thread, candidates, tradeoff=cfg.tradeoff, pool=pool
-            )
-        if result is None:
-            return
-        top_user = result.ranked_users()[0][0]
-        idx = int(np.flatnonzero(result.users == top_user)[0])
-        score = float(result.scores[idx])
-        if degradation is not None and not np.isfinite(score):
-            degradation.add(
-                -1, thread.thread_id, "masked:nonfinite_score",
-                "routing objective not finite; pick not recorded",
-            )
-            return
-        report.n_routed += 1
-        report.routed_scores.append(score)

@@ -296,6 +296,7 @@ class QuestionRouter:
         recent_load: dict[int, int] | None = None,
         capacities: dict[int, float] | None = None,
         pool: np.ndarray | None = None,
+        predictions: dict[str, np.ndarray] | None = None,
     ) -> RoutingResult | None:
         """Solve the Sec.-V LP for one question.
 
@@ -309,6 +310,13 @@ class QuestionRouter:
         is scored; when that pool yields no feasible recommendation and
         the config allows it, the call falls back to the dense path
         over the full candidate set.
+
+        ``predictions`` lets a caller that already batch-scored the
+        exact set this call would score (the nonempty ``pool`` under a
+        two-stage config, ``candidates`` otherwise) pass those model
+        outputs in instead of recomputing them; prediction is pure, so
+        reuse is bit-identical.  The dense *retry* after an infeasible
+        nonempty pool scores a different set and always recomputes.
         """
         if len(candidates) == 0:
             return None
@@ -326,6 +334,7 @@ class QuestionRouter:
                     recent_load=recent_load,
                     capacities=capacities,
                     pool_size=int(pool.size),
+                    predictions=predictions,
                 )
                 if pool.size
                 else None
@@ -345,6 +354,10 @@ class QuestionRouter:
                 recent_load=recent_load,
                 capacities=capacities,
                 pool_size=int(pool.size),
+                # An empty pool never got scored, so caller predictions
+                # align with ``candidates`` and survive the fallback; a
+                # nonempty pool's predictions do not.
+                predictions=predictions if pool.size == 0 else None,
             )
             if result is not None:
                 result = replace(result, dense_fallback=True)
@@ -355,6 +368,7 @@ class QuestionRouter:
             tradeoff=tradeoff,
             recent_load=recent_load,
             capacities=capacities,
+            predictions=predictions,
         )
 
     def _recommend_dense(
@@ -366,9 +380,14 @@ class QuestionRouter:
         recent_load: dict[int, int] | None,
         capacities: dict[int, float] | None,
         pool_size: int | None = None,
+        predictions: dict[str, np.ndarray] | None = None,
     ) -> RoutingResult | None:
-        preds = self.predictor.predict_batch(
-            [(int(u), thread) for u in candidates]
+        preds = (
+            predictions
+            if predictions is not None
+            else self.predictor.predict_batch(
+                [(int(u), thread) for u in candidates]
+            )
         )
         eligible = np.flatnonzero(preds["answer"] >= self.epsilon)
         if eligible.size == 0:

@@ -1,0 +1,80 @@
+"""Deterministic virtual time for the async serving stack.
+
+Load tests and the serving equivalence tests must be bit-reproducible:
+the same seed has to produce the same admission decisions, the same
+batch boundaries and the same latency percentiles on any machine.  Real
+wall-clock cannot provide that, so the whole async stack runs on a
+*virtual clock*: an asyncio event loop whose ``time()`` is simulated
+and that never blocks in ``select`` — whenever every task is waiting on
+a timer, the clock jumps straight to the earliest deadline.
+
+The trick is the standard one (known from ``aiotools``/``looptime``):
+wrap the loop's selector so a blocking ``select(timeout)`` becomes a
+non-blocking poll plus a clock advance of ``timeout``.  Everything
+built on ``loop.time()`` — ``asyncio.sleep``, ``call_later``, batcher
+deadlines, latency measurement — then runs in simulated seconds while
+consuming only as much real time as the Python under it needs.
+
+The simulation is closed (no external I/O), so a state where every
+task waits on a bare future with no timer pending is a deadlock; the
+clock raises instead of spinning forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Coroutine
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Simulated-seconds clock that can drive an asyncio program.
+
+    ``run(coro)`` executes the coroutine on a private event loop whose
+    notion of time is this clock: ``asyncio.sleep(dt)`` returns
+    immediately in real time but advances :meth:`now` by ``dt``.
+    Scheduling is single-threaded and I/O-free, hence deterministic.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def run(self, coro: Coroutine[Any, Any, Any]):
+        """Run ``coro`` to completion under virtual time; return its result."""
+        loop = asyncio.SelectorEventLoop()
+        selector = loop._selector  # the patch point; stable since 3.8
+        real_select = selector.select
+
+        def virtual_select(timeout=None):
+            events = real_select(0)
+            if events or timeout == 0:
+                return events
+            if timeout is None:
+                # No ready callback, no timer: nothing can ever wake us.
+                raise RuntimeError(
+                    "virtual-clock deadlock: every task is blocked and "
+                    "no timer is scheduled"
+                )
+            self._now += timeout
+            return events
+
+        selector.select = virtual_select
+        loop.time = self.now  # shadows BaseEventLoop.time for this loop
+        try:
+            return loop.run_until_complete(coro)
+        finally:
+            try:
+                tasks = asyncio.all_tasks(loop)
+                for task in tasks:
+                    task.cancel()
+                if tasks:
+                    loop.run_until_complete(
+                        asyncio.gather(*tasks, return_exceptions=True)
+                    )
+            finally:
+                loop.close()

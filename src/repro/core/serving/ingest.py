@@ -1,0 +1,136 @@
+"""Bounded-queue ingestion and admission control for the serving stack.
+
+The front door of :class:`~repro.core.serving.service.RecommendationService`:
+every event submission and question query passes through an
+:class:`IngestGate` before any compute is spent on it.  The gate keeps
+one bounded queue per traffic class (events vs. queries), so a flash
+crowd of questions cannot starve event ingestion and vice versa, and
+applies one of two overflow policies per class:
+
+* ``"reject"`` (default) — load shedding: a submission that finds its
+  queue full is turned away immediately with a ``rejected`` response.
+  The caller gets an answer in O(1) regardless of overload, which keeps
+  tail latency of *admitted* work bounded by queue depth x service
+  rate.
+* ``"block"`` — backpressure: the submitter waits (in virtual or real
+  time) until the queue drains.  Total work is preserved but arrival
+  bursts translate into submitter-side latency.
+
+Validation and repair of event *content* is not the gate's job: that is
+the :class:`~repro.core.resilience.StreamGuard` quarantine gate, which
+runs downstream on the single consumer so its stream-clock invariants
+see events in exactly the order the queue delivers them.  The gate
+sheds by *volume*, the guard degrades by *content*; composed, a faulty
+event inside an admitted burst still produces a response — degraded,
+not dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+
+from ... import perf
+
+__all__ = ["AdmissionConfig", "AdmissionError", "IngestGate"]
+
+_OVERFLOW_POLICIES = ("reject", "block")
+
+
+class AdmissionError(RuntimeError):
+    """Raised when submitting to a gate that has been closed."""
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Bounds and overflow policies of the ingestion queues."""
+
+    max_pending_events: int = 4096
+    max_pending_queries: int = 512
+    event_overflow: str = "reject"
+    query_overflow: str = "reject"
+
+    def __post_init__(self):
+        if self.max_pending_events < 1 or self.max_pending_queries < 1:
+            raise ValueError("queue bounds must be >= 1")
+        for name in ("event_overflow", "query_overflow"):
+            if getattr(self, name) not in _OVERFLOW_POLICIES:
+                raise ValueError(
+                    f"{name} must be one of {_OVERFLOW_POLICIES}"
+                )
+
+
+class IngestGate:
+    """Admission-controlled pair of bounded submission queues.
+
+    Items are opaque to the gate (the service enqueues
+    ``(payload, future)`` pairs).  ``offer_event``/``offer_query``
+    return ``True`` when the item was admitted and ``False`` when it
+    was shed under the ``"reject"`` policy; under ``"block"`` they only
+    return after space was found.  Consumers read :attr:`events` and
+    :attr:`queries` directly — single-consumer FIFO order is exactly
+    submission order, which the StreamGuard downstream relies on.
+    """
+
+    def __init__(self, config: AdmissionConfig | None = None):
+        self.config = config or AdmissionConfig()
+        self.events: asyncio.Queue = asyncio.Queue(
+            maxsize=self.config.max_pending_events
+        )
+        self.queries: asyncio.Queue = asyncio.Queue(
+            maxsize=self.config.max_pending_queries
+        )
+        self.closed = False
+        self.n_events_admitted = 0
+        self.n_events_rejected = 0
+        self.n_queries_admitted = 0
+        self.n_queries_rejected = 0
+
+    async def offer_event(self, item) -> bool:
+        admitted = await self._offer(
+            self.events, item, self.config.event_overflow
+        )
+        if admitted:
+            self.n_events_admitted += 1
+            perf.gauge_max("serving.peak_pending_events", self.events.qsize())
+        else:
+            self.n_events_rejected += 1
+            perf.incr("serving.events_rejected")
+        return admitted
+
+    async def offer_query(self, item) -> bool:
+        admitted = await self._offer(
+            self.queries, item, self.config.query_overflow
+        )
+        if admitted:
+            self.n_queries_admitted += 1
+            perf.gauge_max(
+                "serving.peak_pending_queries", self.queries.qsize()
+            )
+        else:
+            self.n_queries_rejected += 1
+            perf.incr("serving.queries_rejected")
+        return admitted
+
+    async def _offer(self, queue: asyncio.Queue, item, overflow: str) -> bool:
+        if self.closed:
+            raise AdmissionError("ingest gate is closed")
+        if queue.full():
+            if overflow == "reject":
+                return False
+            await queue.put(item)  # backpressure: wait for space
+            return True
+        queue.put_nowait(item)
+        return True
+
+    def close(self) -> None:
+        """Refuse all further submissions (pending items still drain)."""
+        self.closed = True
+
+    @property
+    def pending_events(self) -> int:
+        return self.events.qsize()
+
+    @property
+    def pending_queries(self) -> int:
+        return self.queries.qsize()

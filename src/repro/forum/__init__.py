@@ -14,6 +14,7 @@ from .streaming import (
     stream_forum_chunks,
 )
 from .repair import RepairReport, repair_dataset
+from .traffic import TrafficConfig, TrafficRequest, generate_traffic
 from .validation import ValidationIssue, ValidationReport, validate_dataset
 from .stats import (
     DatasetSummary,
@@ -48,6 +49,9 @@ __all__ = [
     "validate_dataset",
     "RepairReport",
     "repair_dataset",
+    "TrafficConfig",
+    "TrafficRequest",
+    "generate_traffic",
     "HOURS_PER_DAY",
     "Post",
     "Thread",

@@ -1,0 +1,518 @@
+"""Tests for repro.core.serving — the layered async serving stack.
+
+The equivalence classes at the heart of this file pin the refactor's
+contract: the async service drives the exact engine the legacy replay
+loop drives, so a zero-concurrency replay through the service
+reproduces ``OnlineRecommendationLoop`` bit for bit, and a batched run
+reproduces a sequential one response for response.
+"""
+
+import asyncio
+import math
+
+import pytest
+
+from repro.core.online import OnlineConfig, OnlineRecommendationLoop
+from repro.core.pipeline import PredictorConfig
+from repro.core.resilience import ResilienceConfig
+from repro.core.serving import (
+    AdmissionConfig,
+    BatchPolicy,
+    CostModel,
+    IngestGate,
+    MicroBatcher,
+    RecommendationService,
+    ServiceConfig,
+    ServingCore,
+    VirtualClock,
+    run_load,
+)
+from repro.core.sharding import ShardedRouter
+from repro.forum.generator import ForumConfig, generate_forum
+from repro.forum.models import Post, Thread
+from repro.forum.traffic import TrafficConfig, generate_traffic
+
+FAST_PREDICTOR = PredictorConfig(
+    n_topics=2, vote_epochs=30, timing_epochs=30, betweenness_sample_size=50
+)
+FAST_ONLINE = OnlineConfig(
+    refit_interval_hours=96.0, window_hours=360.0, warmup_hours=96.0
+)
+
+
+@pytest.fixture(scope="module")
+def stream_dataset():
+    forum = generate_forum(
+        ForumConfig(n_users=120, n_questions=140, activity_tail=1.4), seed=3
+    )
+    clean, _ = forum.dataset.preprocess()
+    return clean
+
+
+@pytest.fixture(scope="module")
+def plain_report(stream_dataset):
+    return OnlineRecommendationLoop(FAST_PREDICTOR, FAST_ONLINE).run(
+        stream_dataset
+    )
+
+
+@pytest.fixture(scope="module")
+def warm_core(stream_dataset):
+    """One ServingCore warmed on the full history, shared read-mostly."""
+    core = ServingCore(FAST_PREDICTOR, FAST_ONLINE)
+    RecommendationService(core).warm(stream_dataset)
+    return core
+
+
+def make_question(tid, author, ts, body="<p>common0 common1</p>"):
+    return Thread(
+        Post(
+            post_id=900000 + tid,
+            thread_id=tid,
+            author=author,
+            timestamp=ts,
+            votes=0,
+            body=body,
+            is_question=True,
+        )
+    )
+
+
+class TestVirtualClock:
+    def test_sleeps_advance_virtual_not_real_time(self):
+        clock = VirtualClock()
+        order = []
+
+        async def sleeper(name, delay):
+            await asyncio.sleep(delay)
+            order.append((name, clock.now()))
+
+        async def main():
+            await asyncio.gather(
+                sleeper("slow", 30.0), sleeper("fast", 1.0)
+            )
+
+        clock.run(main())
+        assert [name for name, _ in order] == ["fast", "slow"]
+        assert order[0][1] == pytest.approx(1.0)
+        assert clock.now() == pytest.approx(30.0)
+
+    def test_loop_time_is_the_virtual_clock(self):
+        clock = VirtualClock(start=100.0)
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            start = loop.time()
+            await asyncio.sleep(2.5)
+            return start, loop.time()
+
+        start, end = clock.run(main())
+        assert start == pytest.approx(100.0)
+        assert end == pytest.approx(102.5)
+
+    def test_deadlock_detected(self):
+        clock = VirtualClock()
+
+        async def main():
+            await asyncio.get_running_loop().create_future()  # never set
+
+        with pytest.raises(RuntimeError, match="deadlock"):
+            clock.run(main())
+
+
+class TestIngestGate:
+    def test_reject_policy_sheds_when_full(self):
+        gate = IngestGate(
+            AdmissionConfig(max_pending_queries=2, query_overflow="reject")
+        )
+
+        async def main():
+            outcomes = [await gate.offer_query(i) for i in range(5)]
+            return outcomes
+
+        outcomes = VirtualClock().run(main())
+        assert outcomes == [True, True, False, False, False]
+        assert gate.n_queries_admitted == 2
+        assert gate.n_queries_rejected == 3
+        assert gate.pending_queries == 2
+
+    def test_block_policy_waits_for_drain(self):
+        gate = IngestGate(
+            AdmissionConfig(max_pending_events=1, event_overflow="block")
+        )
+
+        async def consumer():
+            await asyncio.sleep(1.0)
+            return await gate.events.get()
+
+        async def main():
+            drain = asyncio.get_running_loop().create_task(consumer())
+            await gate.offer_event("a")
+            await gate.offer_event("b")  # blocks until the drain
+            return await drain
+
+        assert VirtualClock().run(main()) == "a"
+        assert gate.n_events_admitted == 2
+        assert gate.n_events_rejected == 0
+
+    def test_closed_gate_raises(self):
+        from repro.core.serving import AdmissionError
+
+        gate = IngestGate()
+        gate.close()
+
+        async def main():
+            await gate.offer_event("x")
+
+        with pytest.raises(AdmissionError):
+            VirtualClock().run(main())
+
+    def test_config_validated(self):
+        with pytest.raises(ValueError, match="bounds"):
+            AdmissionConfig(max_pending_events=0)
+        with pytest.raises(ValueError, match="overflow"):
+            AdmissionConfig(query_overflow="spill")
+
+
+class TestMicroBatcher:
+    def test_burst_coalesces_up_to_max_batch(self):
+        sizes = []
+        batcher = MicroBatcher(
+            BatchPolicy(max_batch=4, max_wait_s=0.01),
+            lambda items: (sizes.append(len(items)), items)[1],
+        )
+
+        async def main():
+            batcher.start()
+            results = await asyncio.gather(
+                *(batcher.submit(i) for i in range(10))
+            )
+            await batcher.stop()
+            return results
+
+        results = VirtualClock().run(main())
+        assert results == list(range(10))  # result matched to payload
+        assert max(sizes) <= 4
+        assert sum(sizes) == 10
+        assert batcher.n_batches == len(sizes)
+
+    def test_lone_item_dispatches_after_max_wait(self):
+        clock = VirtualClock()
+        dispatched_at = []
+        batcher = MicroBatcher(
+            BatchPolicy(max_batch=64, max_wait_s=0.5),
+            lambda items: (dispatched_at.append(clock.now()), items)[1],
+        )
+
+        async def main():
+            batcher.start()
+            result = await batcher.submit("only")
+            await batcher.stop()
+            return result
+
+        assert clock.run(main()) == "only"
+        # The single item waited out the full window, no longer.
+        assert dispatched_at[0] == pytest.approx(0.5)
+
+    def test_handler_exception_fails_the_batch(self):
+        def boom(items):
+            raise RuntimeError("handler broke")
+
+        batcher = MicroBatcher(BatchPolicy(max_batch=2, max_wait_s=0.0), boom)
+
+        async def main():
+            batcher.start()
+            try:
+                await batcher.submit("x")
+            finally:
+                await batcher.stop()
+
+        with pytest.raises(RuntimeError, match="handler broke"):
+            VirtualClock().run(main())
+
+    def test_cost_charges_virtual_service_time(self):
+        clock = VirtualClock()
+        batcher = MicroBatcher(
+            BatchPolicy(max_batch=8, max_wait_s=0.0),
+            lambda items: items,
+            cost=lambda n: 0.125 * n,
+        )
+
+        async def main():
+            batcher.start()
+            await asyncio.gather(*(batcher.submit(i) for i in range(4)))
+            await batcher.stop()
+
+        clock.run(main())
+        assert clock.now() >= 0.125  # at least one batch was charged
+
+    def test_policy_validated(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchPolicy(max_batch=0)
+        with pytest.raises(ValueError, match="max_wait_s"):
+            BatchPolicy(max_wait_s=-1.0)
+
+    def test_sharded_router_backs_a_batch_handler(self, warm_core):
+        """A ShardedRouter.route_batch handler slots into the batcher."""
+        sharded = ShardedRouter(
+            warm_core._predictor,
+            n_shards=2,
+            epsilon=FAST_ONLINE.epsilon,
+            default_capacity=FAST_ONLINE.default_capacity,
+        )
+        candidates = warm_core._candidates
+
+        def handler(threads):
+            return sharded.route_batch(
+                threads, candidates, tradeoff=FAST_ONLINE.tradeoff
+            )
+
+        batcher = MicroBatcher(BatchPolicy(max_batch=4, max_wait_s=0.01),
+                               handler)
+        t0 = warm_core.next_refit - 1.0
+        questions = [
+            make_question(800000 + i, candidates[0], t0) for i in range(4)
+        ]
+
+        async def main():
+            batcher.start()
+            results = await asyncio.gather(
+                *(batcher.submit(q) for q in questions)
+            )
+            await batcher.stop()
+            return results
+
+        results = VirtualClock().run(main())
+        assert len(results) == 4
+        for question, result in zip(questions, results):
+            assert result is not None
+            assert result.question_id == question.thread_id
+            assert len(result.ranked_users()) >= 1
+
+
+class TestServiceReplayEquivalence:
+    """Zero-concurrency service replay == legacy loop, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def service_replay(self, stream_dataset):
+        core = ServingCore(FAST_PREDICTOR, FAST_ONLINE)
+        service = RecommendationService(
+            core, ServiceConfig(cost=None)
+        )
+
+        async def replay():
+            await service.start()
+            responses = []
+            for thread in stream_dataset:
+                responses.append(await service.route_question(thread))
+                await service.submit_event(thread)
+            await service.stop()
+            return responses
+
+        responses = VirtualClock().run(replay())
+        return service, responses
+
+    def test_counters_identical(self, service_replay, plain_report):
+        service, _ = service_replay
+        report = service.report
+        assert report.n_questions_seen == plain_report.n_questions_seen
+        assert report.n_routed == plain_report.n_routed
+        assert report.n_refits == plain_report.n_refits
+        assert report.n_refits >= 2
+
+    def test_rankings_and_scores_bit_identical(
+        self, service_replay, plain_report
+    ):
+        service, _ = service_replay
+        report = service.report
+        assert len(report.rankings) == len(plain_report.rankings)
+        for (ranked, actual), (ranked_p, actual_p) in zip(
+            report.rankings, plain_report.rankings
+        ):
+            assert ranked == ranked_p
+            assert actual == actual_p
+        assert report.routed_scores == plain_report.routed_scores
+
+    def test_clean_stream_suffers_no_degradation(self, service_replay):
+        service, responses = service_replay
+        assert service.degradation.ok
+        assert all(not r.degraded for r in responses)
+
+    def test_every_query_got_a_response(self, service_replay, stream_dataset):
+        _, responses = service_replay
+        assert len(responses) == len(stream_dataset)
+        statuses = {r.status for r in responses}
+        assert statuses <= {"ok", "not_ready", "no_recommendation",
+                            "no_candidates"}
+        assert sum(r.status == "ok" for r in responses) > 0
+
+
+class TestBatchedEqualsSequential:
+    """Micro-batched routing reproduces one-at-a-time routing exactly."""
+
+    @pytest.fixture(scope="class")
+    def traffic(self, stream_dataset):
+        return generate_traffic(
+            stream_dataset,
+            TrafficConfig(
+                n_askers=40, n_events=0, duration_s=10.0, seed=5
+            ),
+        )
+
+    def run_queries(self, core, traffic, max_batch):
+        service = RecommendationService(
+            core,
+            ServiceConfig(
+                batch=BatchPolicy(max_batch=max_batch, max_wait_s=0.05),
+                cost=None,
+            ),
+        )
+        return service, run_load(service, traffic, settle_s=1.0)
+
+    def test_responses_identical(self, warm_core, traffic):
+        # Queries leave the engine state untouched, so the same core
+        # can serve both runs and stay comparable.
+        _, sequential = self.run_queries(warm_core, traffic, max_batch=1)
+        service_b, batched = self.run_queries(warm_core, traffic, max_batch=8)
+        assert service_b._batcher.mean_batch_size > 1.0  # really batched
+        assert len(sequential.responses) == len(batched.responses)
+        for a, b in zip(sequential.responses, batched.responses):
+            assert a.status == b.status
+            assert a.ranked == b.ranked
+            assert a.routed == b.routed
+            assert a.score == b.score
+
+
+class TestAdmissionUnderLoad:
+    def fire_burst(self, core, n, max_pending):
+        service = RecommendationService(
+            core,
+            ServiceConfig(
+                admission=AdmissionConfig(
+                    max_pending_queries=max_pending,
+                    query_overflow="reject",
+                ),
+                batch=BatchPolicy(max_batch=4, max_wait_s=0.001),
+                cost=CostModel(query_batch_s=0.01, query_s=0.02),
+            ),
+        )
+        t0 = core.next_refit - 1.0
+        questions = [make_question(700000 + i, 0, t0) for i in range(n)]
+
+        async def main():
+            await service.start()
+            results = await asyncio.gather(
+                *(service.route_question(q) for q in questions)
+            )
+            await service.stop()
+            return results
+
+        return service, VirtualClock().run(main())
+
+    def test_bounded_queue_rejects_excess_burst(self, warm_core):
+        service, responses = self.fire_burst(warm_core, 32, max_pending=4)
+        rejected = [r for r in responses if r.status == "rejected"]
+        served = [r for r in responses if r.status != "rejected"]
+        assert rejected, "a 32-wide burst must overflow a 4-deep queue"
+        assert served, "admitted queries must still be served"
+        assert len(rejected) + len(served) == 32
+        assert service.gate.n_queries_rejected == len(rejected)
+        # Shed responses return immediately and say why.
+        assert all(r.detail == "query queue full" for r in rejected)
+        assert all(r.latency_s == 0.0 for r in rejected)
+
+    def test_rejection_pattern_is_deterministic(self, warm_core):
+        _, first = self.fire_burst(warm_core, 32, max_pending=4)
+        _, second = self.fire_burst(warm_core, 32, max_pending=4)
+        assert [r.status for r in first] == [r.status for r in second]
+        assert [r.latency_s for r in first] == [r.latency_s for r in second]
+
+
+class TestFaultyEventsDegradeNotDrop:
+    @pytest.fixture()
+    def cold_service(self):
+        core = ServingCore(FAST_PREDICTOR, FAST_ONLINE, ResilienceConfig())
+        return RecommendationService(core, ServiceConfig(cost=None))
+
+    def submit_all(self, service, threads):
+        async def main():
+            await service.start()
+            results = [await service.submit_event(t) for t in threads]
+            await service.stop()
+            return results
+
+        return VirtualClock().run(main())
+
+    def test_guard_faults_surface_as_degraded_responses(self, cold_service):
+        clean = make_question(1, 7, 10.0)
+        duplicate = make_question(1, 7, 11.0)  # same thread id
+        late = make_question(2, 8, 5.0)  # behind the stream clock
+        poisoned = make_question(3, 9, float("nan"))
+        results = self.submit_all(
+            cold_service, [clean, duplicate, late, poisoned]
+        )
+        assert [r.status for r in results] == [
+            "admitted", "dropped", "repaired", "quarantined",
+        ]
+        # Every submitter heard back — degraded, never silence.
+        assert [r.degraded for r in results] == [False, True, True, True]
+        assert "dropped:duplicate_thread" in results[1].actions
+        assert "repaired:late_arrival_clamped" in results[2].actions
+        assert any(a.startswith("quarantined") for a in results[3].actions)
+        assert all(math.isfinite(r.latency_s) for r in results)
+        # And the degradation ledger agrees with the responses.
+        report = cold_service.degradation
+        assert report.count("dropped:duplicate_thread") == 1
+        assert report.count("quarantined:") == 1
+
+
+class TestHealthAndMetrics:
+    def test_cold_service_reports_warming(self):
+        service = RecommendationService(
+            ServingCore(FAST_PREDICTOR, FAST_ONLINE)
+        )
+        health = service.health()
+        assert health["status"] == "warming"
+        assert health["warmed"] is False
+
+    def test_warm_service_reports_ok_and_metrics_shape(self, warm_core):
+        service = RecommendationService(warm_core, ServiceConfig())
+        assert service.health()["status"] == "ok"
+        traffic = generate_traffic(
+            warm_core._last_good,
+            TrafficConfig(n_askers=20, n_events=5, duration_s=5.0, seed=2),
+        )
+        report = run_load(service, traffic)
+        metrics = report.metrics
+        assert metrics["queries"]["admitted"] == 20
+        assert metrics["events"]["admitted"] == 5
+        assert metrics["query_latency"]["count"] == 20
+        for key in ("p50_ms", "p95_ms", "p99_ms"):
+            assert metrics["query_latency"][key] >= 0.0
+        assert (
+            metrics["query_latency"]["p50_ms"]
+            <= metrics["query_latency"]["p99_ms"]
+        )
+        assert report.requests_per_wall_s > 0
+
+
+class TestLoadRunDeterminism:
+    def test_same_seed_same_everything_but_wall_clock(self, stream_dataset):
+        cfg = TrafficConfig(
+            n_askers=60, n_events=15, duration_s=10.0, seed=11
+        )
+
+        def one_run():
+            core = ServingCore(FAST_PREDICTOR, FAST_ONLINE)
+            service = RecommendationService(core, ServiceConfig())
+            service.warm(stream_dataset)
+            return run_load(service, generate_traffic(stream_dataset, cfg))
+
+        first, second = one_run(), one_run()
+        a, b = first.summary(), second.summary()
+        for key in ("wall_s", "requests_per_wall_s"):
+            a.pop(key), b.pop(key)
+        assert a == b
+        for ra, rb in zip(first.responses, second.responses):
+            assert ra.status == rb.status
+            assert ra.latency_s == rb.latency_s

@@ -1,0 +1,136 @@
+"""Tests for repro.forum.traffic — the seeded bursty load generator."""
+
+import pytest
+
+from repro.forum.generator import ForumConfig, generate_forum
+from repro.forum.traffic import TrafficConfig, TrafficRequest, generate_traffic
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    forum = generate_forum(ForumConfig(n_users=80, n_questions=90), seed=5)
+    clean, _ = forum.dataset.preprocess()
+    return clean
+
+
+@pytest.fixture(scope="module")
+def traffic(dataset):
+    return generate_traffic(
+        dataset,
+        TrafficConfig(n_askers=120, n_events=30, duration_s=30.0, seed=9),
+    )
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError, match="n_askers"):
+            TrafficConfig(n_askers=0)
+        with pytest.raises(ValueError, match="burst_fraction"):
+            TrafficConfig(burst_fraction=1.5)
+        with pytest.raises(ValueError, match="durations"):
+            TrafficConfig(duration_s=0.0)
+
+    def test_empty_dataset_rejected(self):
+        from repro.forum.dataset import ForumDataset
+
+        with pytest.raises(ValueError, match="non-empty"):
+            generate_traffic(ForumDataset([]), TrafficConfig())
+
+
+class TestSchedule:
+    def test_counts_and_kinds(self, traffic):
+        assert len(traffic) == 150
+        assert sum(r.kind == "query" for r in traffic) == 120
+        assert sum(r.kind == "event" for r in traffic) == 30
+
+    def test_arrivals_sorted_and_in_range(self, traffic):
+        arrivals = [r.arrival_s for r in traffic]
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= a < 30.0 for a in arrivals)
+
+    def test_created_at_monotone_and_continues_history(self, dataset, traffic):
+        t0 = max(t.created_at for t in dataset)
+        created = [r.thread.created_at for r in traffic]
+        assert created == sorted(created)
+        assert all(c >= t0 for c in created)
+
+    def test_bursts_actually_clump(self, dataset):
+        bursty = generate_traffic(
+            dataset,
+            TrafficConfig(
+                n_askers=400, n_events=0, duration_s=100.0,
+                n_bursts=2, burst_fraction=0.8, burst_width_s=0.3, seed=1,
+            ),
+        )
+        arrivals = sorted(r.arrival_s for r in bursty)
+        # 80% of arrivals share 2 half-second-wide clumps, so some
+        # 1-second window must hold far more than the uniform share.
+        best = max(
+            sum(1 for a in arrivals if lo <= a < lo + 1.0)
+            for lo in range(100)
+        )
+        assert best > 0.2 * len(arrivals)
+
+
+class TestIdentifiers:
+    def test_query_askers_are_fresh_users(self, dataset, traffic):
+        known = {t.asker for t in dataset} | {
+            a for t in dataset for a in t.answerers
+        }
+        query_askers = [
+            r.thread.asker for r in traffic if r.kind == "query"
+        ]
+        assert not set(query_askers) & known
+        assert len(set(query_askers)) == len(query_askers)  # one each
+
+    def test_thread_and_post_ids_fresh_and_unique(self, dataset, traffic):
+        known_threads = {t.thread_id for t in dataset}
+        known_posts = {p.post_id for t in dataset for p in t.posts}
+        new_threads = [r.thread.thread_id for r in traffic]
+        new_posts = [
+            p.post_id for r in traffic for p in r.thread.posts
+        ]
+        assert not set(new_threads) & known_threads
+        assert not set(new_posts) & known_posts
+        assert len(set(new_threads)) == len(new_threads)
+        assert len(set(new_posts)) == len(new_posts)
+
+    def test_events_reuse_historical_populations(self, dataset, traffic):
+        askers = {t.asker for t in dataset}
+        answerers = {a for t in dataset for a in t.answerers}
+        for r in traffic:
+            if r.kind != "event":
+                continue
+            assert r.thread.asker in askers
+            assert r.thread.answerers
+            assert set(r.thread.answerers) <= answerers
+
+    def test_bodies_resampled_from_history(self, dataset, traffic):
+        question_bodies = {t.question.body for t in dataset}
+        assert all(
+            r.thread.question.body in question_bodies for r in traffic
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_identical_schedule(self, dataset, traffic):
+        again = generate_traffic(
+            dataset,
+            TrafficConfig(n_askers=120, n_events=30, duration_s=30.0, seed=9),
+        )
+        assert len(again) == len(traffic)
+        for a, b in zip(traffic, again):
+            assert a.kind == b.kind
+            assert a.arrival_s == b.arrival_s
+            assert a.thread.thread_id == b.thread.thread_id
+            assert a.thread.created_at == b.thread.created_at
+            assert [p.post_id for p in a.thread.posts] == [
+                p.post_id for p in b.thread.posts
+            ]
+
+    def test_different_seed_differs(self, dataset, traffic):
+        other = generate_traffic(
+            dataset,
+            TrafficConfig(n_askers=120, n_events=30, duration_s=30.0, seed=10),
+        )
+        assert [r.arrival_s for r in other] != [r.arrival_s for r in traffic]

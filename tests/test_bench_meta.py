@@ -1,0 +1,77 @@
+"""Every ``BENCH_*.json`` must carry the shared provenance header.
+
+Benchmark records are compared across commits; a file written without
+the ``benchmarks/_meta.py`` header loses the seed/revision/platform
+context that makes the comparison meaningful.  Two guards:
+
+* every checked-in ``BENCH_*.json`` at the repo root has a well-formed
+  ``meta`` block, and
+* every benchmark module that emits a record imports its writer from
+  ``_meta`` and never serialises JSON by hand.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+REQUIRED_META_KEYS = {
+    "schema_version",
+    "seed",
+    "git_rev",
+    "generated_at",
+    "python",
+    "numpy",
+    "platform",
+    "machine",
+    "cpu_count",
+    "bench_scale",
+}
+
+
+def bench_records():
+    return sorted(REPO_ROOT.glob("BENCH_*.json"))
+
+
+def bench_modules():
+    return sorted(BENCH_DIR.glob("bench_*.py"))
+
+
+class TestBenchRecords:
+    def test_records_exist(self):
+        assert bench_records(), "no BENCH_*.json records at the repo root"
+
+    @pytest.mark.parametrize(
+        "path", bench_records(), ids=lambda p: p.name
+    )
+    def test_record_carries_meta_header(self, path):
+        record = json.loads(path.read_text())
+        assert "meta" in record, f"{path.name} lacks the shared meta header"
+        meta = record["meta"]
+        missing = REQUIRED_META_KEYS - meta.keys()
+        assert not missing, f"{path.name} meta missing keys: {sorted(missing)}"
+        assert meta["schema_version"] == 1
+        assert isinstance(meta["seed"], int)
+        # Beyond the header there must be at least one payload section.
+        assert len(record) > 1, f"{path.name} has a header but no payload"
+
+
+class TestBenchWriters:
+    @pytest.mark.parametrize(
+        "path", bench_modules(), ids=lambda p: p.name
+    )
+    def test_writers_route_through_meta(self, path):
+        source = path.read_text()
+        if "BENCH_" not in source:
+            return  # module measures without persisting a record
+        assert re.search(
+            r"from _meta import .*\b(write_bench|record_bench)\b", source
+        ), f"{path.name} writes a BENCH record without the _meta writers"
+        assert "json.dump" not in source and ".write_text(" not in source, (
+            f"{path.name} serialises a BENCH record by hand; route it "
+            "through benchmarks/_meta.py instead"
+        )

@@ -170,6 +170,36 @@ class TestReplayFaults:
 
 
 @pytest.mark.slow
+class TestServe:
+    def test_load_run_prints_latency_and_admission(self, dataset_path, capsys):
+        code = main(
+            [
+                "serve",
+                "--input",
+                str(dataset_path),
+                "--askers",
+                "150",
+                "--events",
+                "30",
+                "--duration",
+                "20",
+                "--seed",
+                "3",
+                "--topics",
+                "4",
+                "--betweenness-samples",
+                "80",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "150 queries + 30 events" in out
+        assert "query latency (virtual): p50 " in out
+        assert "admission: " in out
+        assert "batching: " in out
+        assert "health: ok" in out
+
+
 class TestEvaluate:
     def test_prints_table(self, dataset_path, capsys):
         code = main(

@@ -1,11 +1,12 @@
-"""Unit tests for repro.perf — stage timers and counters."""
+"""Unit tests for repro.perf — stage timers, counters, histograms."""
 
+import math
 import threading
 
 import pytest
 
 from repro import perf
-from repro.perf import PerfRegistry, StageStat
+from repro.perf import LatencyHistogram, PerfRegistry, StageStat
 
 
 @pytest.fixture
@@ -147,6 +148,109 @@ class TestPeakRss:
         first = reg.counter("hw.peak_rss_bytes")
         perf.record_peak_rss("hw", registry=reg)
         assert reg.counter("hw.peak_rss_bytes") >= first
+
+
+class TestLatencyHistogram:
+    def test_empty_percentile_is_nan(self):
+        hist = LatencyHistogram()
+        assert math.isnan(hist.percentile(50))
+        assert math.isnan(hist.mean)
+        assert hist.count == 0
+
+    def test_single_sample_answers_exactly(self):
+        hist = LatencyHistogram()
+        hist.record(0.25)
+        for p in (0, 50, 99, 100):
+            assert hist.percentile(p) == 0.25
+        assert hist.mean == 0.25
+
+    def test_percentiles_bracket_true_quantiles(self):
+        hist = LatencyHistogram(buckets_per_decade=40)
+        samples = [0.001 * (i + 1) for i in range(1000)]  # 1ms..1s
+        for s in samples:
+            hist.record(s)
+        # One log-bucket is < 6% wide, so the estimate must land within
+        # one bucket of the true nearest-rank quantile.
+        for p in (50, 95, 99):
+            true = samples[max(0, math.ceil(p / 100 * len(samples)) - 1)]
+            estimate = hist.percentile(p)
+            assert true <= estimate <= true * 10 ** (1 / 40) * 1.001
+
+    def test_percentile_is_monotone_in_p(self):
+        hist = LatencyHistogram()
+        for i in range(100):
+            hist.record(0.01 * (1 + i % 17))
+        values = [hist.percentile(p) for p in (1, 25, 50, 75, 95, 99.9)]
+        assert values == sorted(values)
+
+    def test_out_of_range_samples_clamp_to_min_max(self):
+        hist = LatencyHistogram(low=1e-3, high=1.0)
+        hist.record(1e-9)  # underflow bucket
+        hist.record(50.0)  # overflow bucket
+        assert hist.percentile(0) == pytest.approx(1e-9)
+        assert hist.percentile(100) == pytest.approx(50.0)
+        assert hist.count == 2
+
+    def test_nonfinite_and_invalid_inputs(self):
+        hist = LatencyHistogram()
+        hist.record(float("nan"))
+        hist.record(float("inf"))
+        assert hist.count == 0
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_merge_equals_pooled_recording(self):
+        left, right, pooled = (LatencyHistogram() for _ in range(3))
+        for i, s in enumerate(0.001 * (1 + i) for i in range(200)):
+            (left if i % 2 else right).record(s)
+            pooled.record(s)
+        left.merge(right.snapshot())
+        assert left.count == pooled.count
+        for p in (50, 95, 99):
+            assert left.percentile(p) == pooled.percentile(p)
+
+    def test_merge_rejects_mismatched_layout(self):
+        hist = LatencyHistogram(buckets_per_decade=40)
+        other = LatencyHistogram(buckets_per_decade=20)
+        with pytest.raises(ValueError):
+            hist.merge(other.snapshot())
+
+
+class TestRegistryHistograms:
+    def test_record_latency_and_percentile(self, registry):
+        for ms in (1, 2, 3, 4, 100):
+            registry.record_latency("svc.lat", ms / 1000)
+        assert registry.histogram("svc.lat").count == 5
+        assert registry.percentile("svc.lat", 50) == pytest.approx(
+            0.003, rel=0.06
+        )
+        assert math.isnan(registry.percentile("missing", 50))
+
+    def test_histogram_returns_copy(self, registry):
+        registry.record_latency("h", 0.5)
+        registry.histogram("h").record(0.5)
+        assert registry.histogram("h").count == 1
+
+    def test_latency_timer_records(self, registry):
+        with registry.latency_timer("timed"):
+            pass
+        assert registry.histogram("timed").count == 1
+
+    def test_snapshot_merge_round_trip(self, registry):
+        registry.record_latency("x", 0.2)
+        other = PerfRegistry()
+        other.merge(registry.snapshot())
+        assert other.percentile("x", 50) == registry.percentile("x", 50)
+
+    def test_report_and_reset_cover_histograms(self, registry):
+        registry.record_latency("svc.query", 0.01)
+        assert "svc.query" in registry.report()
+        registry.reset()
+        assert registry.histograms() == {}
+
+    def test_module_level_helpers(self):
+        perf.record_latency("module-hist", 0.001)
+        assert perf.histogram("module-hist").count >= 1
 
 
 class TestModuleLevelApi:
