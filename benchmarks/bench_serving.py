@@ -216,6 +216,83 @@ def test_serving_overload_sheds(warm_core, dataset):
     )
 
 
+def test_serving_phase_breakdown(warm_core, dataset):
+    """Where a query's latency goes: admission / batch wait / predict / LP.
+
+    A bursty 300-asker run against a deliberately shallow *blocking*
+    admission queue, so every phase of the pipeline actually shows up:
+    submitters wait for admission, admitted queries wait for their
+    micro-batch, the batch is featurized and scored (``online.rank``),
+    and the LP routing tail runs per query (``online.route``).  The
+    stage timers already exist in the hot path; this section just reads
+    them back as a per-phase budget.
+    """
+    from repro import perf
+
+    traffic = generate_traffic(
+        dataset,
+        TrafficConfig(
+            n_askers=300,
+            n_events=0,
+            duration_s=8.0,
+            burst_fraction=0.9,
+            n_bursts=2,
+            seed=SEED + 4,
+        ),
+    )
+    service = make_service(
+        warm_core,
+        admission=AdmissionConfig(
+            max_pending_queries=16, query_overflow="block"
+        ),
+        batch=BatchPolicy(max_batch=8, max_wait_s=0.005),
+        cost=CostModel(query_batch_s=0.01, query_s=0.02),
+    )
+    with perf.use_registry() as registry:
+        report = run_load(service, traffic)
+    metrics = report.metrics
+
+    admission = registry.histogram("serving.admission_wait")
+    assert admission.count > 0, "blocking queue depth 16 must backpressure"
+    rank = registry.stage("online.rank")
+    route = registry.stage("online.route")
+    assert rank.calls > 0 and route.calls > 0
+    assert metrics["batch_wait"]["count"] > 0
+    assert report.query_statuses.get("ok", 0) > 0
+
+    def stage_block(stat):
+        return {
+            "calls": stat.calls,
+            "total_s": round(stat.total_seconds, 6),
+            "mean_ms": round(
+                (stat.total_seconds / stat.calls) * 1e3, 4
+            )
+            if stat.calls
+            else 0.0,
+        }
+
+    record_bench(
+        RESULT_PATH,
+        "phase_breakdown",
+        {
+            "n_queries": len(traffic),
+            "admission_wait_virtual": {
+                "count": admission.count,
+                "p50_ms": round(admission.percentile(50) * 1e3, 4),
+                "p99_ms": round(admission.percentile(99) * 1e3, 4),
+                "mean_ms": round(admission.mean * 1e3, 4),
+            },
+            "batch_wait_virtual": latency_block(metrics, "batch_wait"),
+            "predict_wall": stage_block(rank),
+            "lp_route_wall": stage_block(route),
+            "query_latency_virtual": latency_block(
+                metrics, "query_latency"
+            ),
+        },
+        seed=SEED + 4,
+    )
+
+
 @pytest.mark.slow
 def test_serving_load_full(warm_core, dataset):
     traffic = generate_traffic(

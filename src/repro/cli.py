@@ -169,6 +169,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="admission bound on the query queue")
     serve.add_argument("--max-pending-events", type=int, default=4096,
                        help="admission bound on the event queue")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="shard workers for candidate featurization "
+                       "(1 = single-process)")
+    serve.add_argument("--shard-mode", choices=("inline", "process"),
+                       default="process",
+                       help="run shards inline or on worker processes")
+    serve.add_argument("--transport", choices=("shm", "pickle"),
+                       default="shm",
+                       help="shard state transport (process mode)")
+    serve.add_argument("--cache-pairs", type=int, default=0,
+                       help="capacity of the refit-epoch prediction cache "
+                       "in (user, thread) pairs; 0 disables")
+    serve.add_argument("--repeat-fraction", type=float, default=0.0,
+                       help="share of queries re-asking an earlier "
+                       "question (exercises the prediction cache)")
 
     scale = sub.add_parser(
         "scale",
@@ -406,7 +421,15 @@ def _cmd_serve(args) -> int:
     from .forum.traffic import TrafficConfig, generate_traffic
 
     dataset = load_dataset(args.input)
-    core = ServingCore(_config_from_args(args), OnlineConfig())
+    core = ServingCore(
+        _config_from_args(args),
+        OnlineConfig(
+            serving_shards=args.shards,
+            shard_mode=args.shard_mode,
+            shard_transport=args.transport,
+            feature_cache_pairs=args.cache_pairs,
+        ),
+    )
     service = RecommendationService(
         core,
         ServiceConfig(
@@ -432,10 +455,13 @@ def _cmd_serve(args) -> int:
             n_askers=args.askers,
             n_events=args.events,
             duration_s=args.duration,
+            repeat_fraction=args.repeat_fraction,
             seed=args.seed,
         ),
     )
-    report = run_load(service, traffic)
+    # close_core guarantees shard workers and shm blocks are released
+    # even when the load run raises.
+    report = run_load(service, traffic, close_core=True)
     metrics = report.metrics
     print(
         f"load: {report.n_queries} queries + {report.n_events} events over "
@@ -457,6 +483,21 @@ def _cmd_serve(args) -> int:
         print(
             f"query latency (virtual): p50 {latency['p50_ms']:.2f}ms  "
             f"p95 {latency['p95_ms']:.2f}ms  p99 {latency['p99_ms']:.2f}ms"
+        )
+    cache = metrics["cache"]
+    if cache["max_pairs"]:
+        print(
+            f"prediction cache: {cache['hits']} hits / "
+            f"{cache['misses']} misses, {cache['evictions']} evictions "
+            f"({cache['size']}/{cache['max_pairs']} pairs held)"
+        )
+    if "sharding" in metrics:
+        sharding = metrics["sharding"]
+        print(
+            f"sharding: {sharding['n_shards']} shards "
+            f"({sharding['mode']}/{sharding['transport']}), "
+            f"epoch {sharding['epoch']}, {sharding['scatters']} scatters, "
+            f"{sharding['shm_bytes_published'] / 1024**2:.1f} MB published"
         )
     statuses = ", ".join(
         f"{status}={count}"

@@ -99,6 +99,33 @@ def _shard_call(item):
     return getattr(_SHARD_STATE, method)(*args, **kwargs)
 
 
+def _shard_swap(factory_bytes: bytes):
+    """Atomically replace this worker's shard state (refit handshake).
+
+    The new state is built *before* the old one is released, so a
+    failure leaves the worker serving the previous epoch; the caller
+    learns the outcome from the returned acknowledgement.
+    """
+    global _SHARD_STATE
+    factory, payload = pickle.loads(factory_bytes)
+    fresh = factory(payload)
+    stale, _SHARD_STATE = _SHARD_STATE, fresh
+    release = getattr(stale, "release", None)
+    if release is not None:
+        release()
+    return getattr(fresh, "epoch", None)
+
+
+def _shard_release():
+    """Drop this worker's shard state and free its mapped resources."""
+    global _SHARD_STATE
+    stale, _SHARD_STATE = _SHARD_STATE, None
+    release = getattr(stale, "release", None)
+    if release is not None:
+        release()
+    return True
+
+
 class ShardPool:
     """Persistent shared-nothing worker processes, one per shard.
 
@@ -150,6 +177,33 @@ class ShardPool:
             for shard, args in enumerate(args_per_shard)
         ]
         return [f.result() for f in futures]
+
+    def swap_all(self, factory, payloads: list) -> list:
+        """Swap every worker's state in place; returns the acks.
+
+        Each worker builds its replacement state from ``payloads[shard]``
+        and only then releases the old one, so a swap is atomic per
+        worker: until it acknowledges, calls still see the previous
+        state.  Gathered in shard order like :meth:`call_all`.
+        """
+        futures = [
+            executor.submit(
+                _shard_swap, pickle.dumps((factory, payloads[shard]))
+            )
+            for shard, executor in enumerate(self._executors)
+        ]
+        return [f.result() for f in futures]
+
+    def release_all(self) -> None:
+        """Ask every worker to drop its state before the pool shuts down."""
+        futures = [
+            executor.submit(_shard_release) for executor in self._executors
+        ]
+        for f in futures:
+            try:
+                f.result()
+            except Exception:  # noqa: BLE001 — teardown is best-effort
+                pass
 
     def close(self) -> None:
         for executor in self._executors:

@@ -333,6 +333,18 @@ class ForumPredictor:
             return {"answer": empty, "votes": empty, "response_time": empty}
         x = self.extractor.feature_matrix(pairs)
         horizons = self._horizons([t for _, t in pairs])
+        return self.predict_matrix(x, horizons)
+
+    def predict_matrix(
+        self, x: np.ndarray, horizons: np.ndarray
+    ) -> dict[str, np.ndarray]:
+        """Model heads over prefeaturized rows (same keys as batch).
+
+        Entry point for callers that already hold the feature matrix —
+        the sharded serving path merges per-shard feature blocks (and
+        cache-missed rows) and runs the heads once here.
+        """
+        self._check_fitted()
         return {
             "answer": self.answer_model.predict_proba(x),
             "votes": self.vote_model.predict(x),

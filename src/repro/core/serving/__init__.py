@@ -24,6 +24,7 @@ layers a real service needs:
 """
 
 from .batcher import BatchPolicy, MicroBatcher
+from .cache import PredictionCache
 from .clock import VirtualClock
 from .harness import LoadReport, run_load
 from .ingest import AdmissionConfig, AdmissionError, IngestGate
@@ -44,6 +45,7 @@ __all__ = [
     "IngestGate",
     "LoadReport",
     "MicroBatcher",
+    "PredictionCache",
     "RecommendationService",
     "RouteResponse",
     "ServiceConfig",

@@ -118,7 +118,14 @@ class IngestGate:
         if queue.full():
             if overflow == "reject":
                 return False
-            await queue.put(item)  # backpressure: wait for space
+            # Backpressure: wait for space; the wait is the admission
+            # phase of the submitter's end-to-end latency.
+            loop = asyncio.get_running_loop()
+            started = loop.time()
+            await queue.put(item)
+            perf.record_latency(
+                "serving.admission_wait", loop.time() - started
+            )
             return True
         queue.put_nowait(item)
         return True

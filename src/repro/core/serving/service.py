@@ -45,8 +45,10 @@ from ..resilience import (
 )
 from ..retrieval import CandidateRetriever, RetrievalConfig
 from ..routing import QuestionRouter, UserLoadTracker
+from ..sharding import ShardedRouter
 from ..state import ForumState
 from .batcher import BatchPolicy, MicroBatcher
+from .cache import PredictionCache
 from .ingest import AdmissionConfig, IngestGate
 
 __all__ = [
@@ -90,6 +92,16 @@ class OnlineConfig:
     # routed without load constraints).
     track_load: bool = True
     load_window_hours: float = 24.0
+    # Shard-parallel candidate featurization in the serving hot path:
+    # >1 fans each query batch out over a ShardedRouter (bit-identical
+    # canonical merge); 1 keeps the single-process extractor.
+    serving_shards: int = 1
+    shard_mode: str = "inline"  # or "process" (persistent workers)
+    shard_transport: str = "shm"  # or "pickle"; process mode only
+    # Refit-epoch-keyed (user, thread) prediction cache: repeat queries
+    # against the same epoch skip featurization and the model heads.
+    # 0 disables; entries are three floats each.
+    feature_cache_pairs: int = 0
 
     def __post_init__(self):
         if self.refit_interval_hours <= 0 or self.window_hours <= 0:
@@ -109,6 +121,14 @@ class OnlineConfig:
             )
         if self.load_window_hours <= 0:
             raise ValueError("load_window_hours must be positive")
+        if self.serving_shards < 1:
+            raise ValueError("serving_shards must be >= 1")
+        if self.shard_mode not in ("inline", "process"):
+            raise ValueError("shard_mode must be 'inline' or 'process'")
+        if self.shard_transport not in ("shm", "pickle"):
+            raise ValueError("shard_transport must be 'shm' or 'pickle'")
+        if self.feature_cache_pairs < 0:
+            raise ValueError("feature_cache_pairs must be non-negative")
 
 
 @dataclass
@@ -269,6 +289,54 @@ class ServingCore:
         # The refit entry point recovery wraps; tests may swap it to
         # inject refit failures.
         self.refit_hook = self.refit
+        # Serving hot-path accelerators: the shard fan-out (built on the
+        # first router bind when serving_shards > 1, rebound in place on
+        # later refits) and the epoch-keyed prediction cache (cleared on
+        # every bind — static rows are immutable only within an epoch).
+        self.refit_epoch = 0
+        self._sharded: ShardedRouter | None = None
+        self._cache = PredictionCache(self.online_config.feature_cache_pairs)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        predictor: ForumPredictor,
+        candidates,
+        *,
+        online_config: OnlineConfig | None = None,
+        resilience_config: ResilienceConfig | None = None,
+    ) -> "ServingCore":
+        """A core serving a prefitted predictor, warmed immediately.
+
+        Binds the router (and shard fan-out, per ``online_config``)
+        without replaying the training window, and parks the refit grid
+        at infinity — the scale path fits offline and serves frozen.
+        """
+        if predictor.extractor is None:
+            raise RuntimeError("predictor is not fitted")
+        core = cls(predictor.config, online_config, resilience_config)
+        core._predictor = predictor
+        core._bind_router(candidates)
+        core.next_refit = float("inf")
+        return core
+
+    def close(self) -> None:
+        """Release shard workers and their shm blocks (idempotent).
+
+        Only resources the core itself owns: the predictor, state and
+        router are plain in-process objects and need no teardown.
+        """
+        if self._sharded is not None:
+            self._sharded.close()
+            self._sharded = None
+
+    def __enter__(self) -> "ServingCore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- readiness -----------------------------------------------------------
 
@@ -337,6 +405,23 @@ class ServingCore:
             load_tracker=self._load if cfg.track_load else None,
         )
         self._candidates = sorted(candidates)
+        self.refit_epoch += 1
+        self._cache.clear()
+        if cfg.serving_shards > 1:
+            if self._sharded is None:
+                # retrieval=None: pools come from the core's retriever
+                # parent-side; the shards only featurize.
+                self._sharded = ShardedRouter(
+                    self._predictor,
+                    cfg.serving_shards,
+                    epsilon=cfg.epsilon,
+                    default_capacity=cfg.default_capacity,
+                    retrieval=None,
+                    mode=cfg.shard_mode,
+                    transport=cfg.shard_transport,
+                )
+            else:
+                self._sharded.rebind(self._predictor)
 
     def _bind_retriever(self) -> CandidateRetriever | None:
         """Build or refresh the candidate indices after a refit.
@@ -569,6 +654,125 @@ class ServingCore:
             "ok",
         )
 
+    def _cached_predictions(
+        self, prepared: _PreparedQuery
+    ) -> dict[str, np.ndarray] | None:
+        """The query's full prediction set from cache, or ``None``.
+
+        All-or-nothing: a single missing (user, thread) pair sends the
+        whole query down the compute path, so a response is never
+        assembled from a mix of cached and fresh rows.
+        """
+        cache = self._cache
+        if cache.max_pairs <= 0:
+            return None
+        tid = prepared.thread.thread_id
+        triples = []
+        for user in prepared.rank_candidates:
+            triple = cache.get(user, tid)
+            if triple is None:
+                return None
+            triples.append(triple)
+        arr = np.asarray(triples)
+        return {
+            "answer": arr[:, 0],
+            "votes": arr[:, 1],
+            "response_time": arr[:, 2],
+        }
+
+    def _cache_store(
+        self, prepared: _PreparedQuery, predictions: dict[str, np.ndarray]
+    ) -> None:
+        if self._cache.max_pairs <= 0:
+            return
+        tid = prepared.thread.thread_id
+        answer = predictions["answer"]
+        votes = predictions["votes"]
+        response_time = predictions["response_time"]
+        for j, user in enumerate(prepared.rank_candidates):
+            self._cache.put(
+                user,
+                tid,
+                float(answer[j]),
+                float(votes[j]),
+                float(response_time[j]),
+            )
+
+    def predict_prepared(
+        self, prepared_list: list[_PreparedQuery]
+    ) -> list[dict[str, np.ndarray]]:
+        """Model predictions for a refit segment of prepared queries.
+
+        The single scoring path behind :meth:`route` and the fused
+        batch flush.  Cache-hit queries skip compute entirely; every
+        miss in the segment is featurized together — ONE shard scatter
+        for the whole segment when sharding is on, one
+        ``feature_matrix`` call otherwise — and the model heads run
+        once over the stacked rows.  With sharding off and the cache
+        empty this reduces exactly to ``predict_batch`` over the
+        concatenated rank pairs, which is what pins bit-identity.
+        """
+        predictor = self._router.predictor
+        results: list[dict[str, np.ndarray] | None] = [None] * len(
+            prepared_list
+        )
+        missed: list[int] = []
+        for i, prepared in enumerate(prepared_list):
+            cached = self._cached_predictions(prepared)
+            if cached is not None:
+                results[i] = cached
+            else:
+                missed.append(i)
+        if missed:
+            with perf.timer("online.rank"):
+                sizes = [
+                    len(prepared_list[i].rank_candidates) for i in missed
+                ]
+                if self._sharded is not None:
+                    rows = self._sharded.feature_rows(
+                        [prepared_list[i].thread for i in missed],
+                        [
+                            np.asarray(
+                                prepared_list[i].rank_candidates,
+                                dtype=np.int64,
+                            )
+                            for i in missed
+                        ],
+                    )
+                    perf.incr("serving.shard_scatters")
+                    x = np.concatenate(
+                        [r[1] for r in rows if r[1] is not None], axis=0
+                    )
+                else:
+                    pairs: list[tuple[int, Thread]] = []
+                    for i in missed:
+                        pairs.extend(prepared_list[i].rank_pairs)
+                    x = predictor.extractor.feature_matrix(pairs)
+                horizons = np.concatenate(
+                    [
+                        np.full(
+                            size,
+                            float(
+                                predictor._horizons(
+                                    [prepared_list[i].thread]
+                                )[0]
+                            ),
+                        )
+                        for i, size in zip(missed, sizes)
+                    ]
+                )
+                predictions = predictor.predict_matrix(x, horizons)
+            start = 0
+            for i, size in zip(missed, sizes):
+                sliced = {
+                    key: values[start : start + size]
+                    for key, values in predictions.items()
+                }
+                results[i] = sliced
+                self._cache_store(prepared_list[i], sliced)
+                start += size
+        return results
+
     def finish_query(
         self,
         prepared: _PreparedQuery,
@@ -654,10 +858,7 @@ class ServingCore:
             return RouteResponse(thread.thread_id, status)
         # Who-will-answer ranking: candidates by predicted a_uq
         # (batch-featurized across the whole candidate set).
-        with perf.timer("online.rank"):
-            predictions = self._router.predictor.predict_batch(
-                prepared.rank_pairs
-            )
+        predictions = self.predict_prepared([prepared])[0]
         perf.incr("online.candidate_pairs", len(prepared.rank_candidates))
         return self.finish_query(prepared, predictions, report, degradation)
 
@@ -684,23 +885,16 @@ class ServingCore:
         def flush() -> None:
             if not segment:
                 return
-            pairs: list[tuple[int, Thread]] = []
-            spans: list[tuple[int, int]] = []
-            for _, prepared in segment:
-                start = len(pairs)
-                pairs.extend(prepared.rank_pairs)
-                spans.append((start, len(pairs)))
-            with perf.timer("online.rank"):
-                predictions = self._router.predictor.predict_batch(pairs)
-            perf.incr("online.candidate_pairs", len(pairs))
+            prepared_list = [prepared for _, prepared in segment]
+            predictions = self.predict_prepared(prepared_list)
+            perf.incr(
+                "online.candidate_pairs",
+                sum(len(p.rank_candidates) for p in prepared_list),
+            )
             perf.incr("serving.fused_queries", len(segment))
-            for (idx, prepared), (start, end) in zip(segment, spans):
-                sliced = {
-                    key: values[start:end]
-                    for key, values in predictions.items()
-                }
+            for (idx, prepared), preds in zip(segment, predictions):
                 responses[idx] = self.finish_query(
-                    prepared, sliced, report, degradation
+                    prepared, preds, report, degradation
                 )
             segment.clear()
 
@@ -937,12 +1131,38 @@ class RecommendationService:
                 "n_questions_seen": self.report.n_questions_seen,
                 "n_routed": self.report.n_routed,
                 "n_refits": self.report.n_refits,
+                "refit_epoch": self.core.refit_epoch,
             },
             "degradation": self.degradation.summary(),
+            "cache": self.core._cache.stats(),
         }
+        registry = perf.get_registry()
+        sharded = self.core._sharded
+        if sharded is not None:
+            scatter: dict = {}
+            for shard in range(sharded.n_shards):
+                hist = registry.histogram(f"sharding.scatter.shard{shard}")
+                if hist.count:
+                    scatter[f"shard{shard}"] = {
+                        "count": hist.count,
+                        "p50_ms": round(hist.percentile(50) * 1e3, 4),
+                        "p99_ms": round(hist.percentile(99) * 1e3, 4),
+                        "mean_ms": round(hist.mean * 1e3, 4),
+                    }
+            out["sharding"] = {
+                "n_shards": sharded.n_shards,
+                "mode": sharded.mode,
+                "transport": sharded.transport,
+                "epoch": sharded.epoch,
+                "scatters": registry.counter("serving.shard_scatters"),
+                "shm_bytes_published": sharded.shm_bytes,
+                "shm": registry.counters_with_prefix("shm."),
+                "scatter_latency": scatter,
+            }
         for key, name in (
             ("query_latency", "serving.query_latency"),
             ("event_latency", "serving.event_latency"),
+            ("batch_wait", "serving.batch_wait"),
         ):
             hist = self.perf.histogram(name)
             out[key] = {
@@ -998,6 +1218,12 @@ class RecommendationService:
     def _handle_query_batch(self, payloads: list) -> list[RouteResponse]:
         """Sync batch handler run by the micro-batcher."""
         loop = asyncio.get_running_loop()
+        dispatched = loop.time()
+        for _, arrival in payloads:
+            # Queue + coalescing time before the engine saw the query.
+            self.perf.record_latency(
+                "serving.batch_wait", dispatched - arrival
+            )
         threads = [thread for thread, _ in payloads]
         responses = self.core.process_query_batch(
             threads, self.report, self.degradation, self._res

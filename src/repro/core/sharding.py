@@ -31,13 +31,22 @@ re-ranked under the exact global sort key (topic affinity:
 pool is invariant to the shard count.
 
 Process mode runs shards on a persistent
-:class:`~repro.core.parallel.ShardPool` (payload shipped once at worker
-startup); inline mode runs the identical worker objects in-process,
-which is what the equivalence tests pin against the dense router.
+:class:`~repro.core.parallel.ShardPool`; by default shard state travels
+over **named shared memory** rather than the pool pipe — each refit
+epoch is published once into ``/dev/shm`` blocks the workers map
+zero-copy (manifests of a few hundred bytes are all that pickles), and
+:meth:`ShardedRouter.rebind` swaps worker views atomically behind an
+epoch-tagged handshake.  Inline mode runs the identical worker objects
+in-process, which is what the equivalence tests pin against the dense
+router.
 """
 
 from __future__ import annotations
 
+import atexit
+import gc
+import pickle
+import time
 from dataclasses import dataclass, replace
 
 import numpy as np
@@ -45,23 +54,30 @@ import numpy as np
 from .. import perf
 from ..forum.dataset import ForumDataset
 from ..forum.models import Thread
-from .columnar import BatchTables
+from .columnar import BatchTables, UserHistory
+from .dtypes import ID_DTYPE
 from .features import FeatureExtractor
 from .parallel import ShardPool
 from .pipeline import ForumPredictor
 from .retrieval.config import RetrievalConfig
 from .retrieval.engine import _sorted_member, reciprocal_rank_fusion
 from .routing import RoutingResult, finish_recommendation
-from .state import FrozenState
+from .shm import ShmManifest
+from .shm import attach as shm_attach
+from .shm import publish as shm_publish
+from .shm import unlink as shm_unlink
+from .state import ColumnQuestionInfo, FrozenState
 from .topic_context import TopicModelContext
 
 __all__ = [
     "ShardPlan",
     "ShardPayload",
+    "ShmShardPayload",
     "ShardWorker",
     "ShardedRouter",
     "slice_frozen",
     "slice_tables",
+    "build_worker_from_shm",
 ]
 
 
@@ -159,6 +175,28 @@ class ShardPayload:
     act_users: np.ndarray
     act_counts: np.ndarray
     act_latest: np.ndarray
+    # Refit-epoch the payload belongs to; workers echo it back in the
+    # swap handshake so the parent knows every shard flipped.
+    epoch: int = 0
+
+
+@dataclass(frozen=True)
+class ShmShardPayload:
+    """Zero-copy shard bootstrap: block manifests instead of pickled state.
+
+    The heavy arrays live in two named shared-memory blocks published
+    once per refit epoch — one *global* block shared by every shard
+    (question columns plus a pickled blob of the small global state)
+    and one *per-shard* block with the shard's table rows and history
+    blocks.  What ships down the worker pipe is only this payload: a
+    few hundred bytes of names, dtypes and offsets.
+    """
+
+    shard: int
+    n_shards: int
+    epoch: int
+    global_manifest: ShmManifest
+    shard_manifest: ShmManifest
 
 
 class ShardWorker:
@@ -171,6 +209,10 @@ class ShardWorker:
     def __init__(self, payload: ShardPayload):
         self.shard = payload.shard
         self.n_shards = payload.n_shards
+        self.epoch = payload.epoch
+        # Shared-memory handles backing this state's arrays (shm
+        # transport only); must outlive every view, see release().
+        self._shm_handles: list = []
         extractor = FeatureExtractor.__new__(FeatureExtractor)
         extractor._bind(payload.frozen, payload.topics, ForumDataset([]))
         self.extractor = extractor
@@ -182,6 +224,29 @@ class ShardWorker:
         self._act_users = np.asarray(payload.act_users, dtype=np.int64)
         self._act_counts = np.asarray(payload.act_counts, dtype=np.int64)
         self._act_latest = np.asarray(payload.act_latest, dtype=float)
+
+    def release(self) -> None:
+        """Drop every array reference, then close mapped shm blocks.
+
+        ``SharedMemory.close`` raises ``BufferError`` while numpy views
+        into the buffer are alive, so the refs go first and a collect
+        sweeps any cycles before the handles close.  Called by the pool
+        workers on swap (old epoch) and teardown.
+        """
+        self.extractor = None
+        self._gen_users = None
+        self._gen_d_u = None
+        self._act_users = None
+        self._act_counts = None
+        self._act_latest = None
+        handles, self._shm_handles = self._shm_handles, []
+        if handles:
+            gc.collect()
+        for handle in handles:
+            try:
+                handle.close()
+            except BufferError:  # stray view; mapping dies with the process
+                pass
 
     def score(
         self,
@@ -258,6 +323,254 @@ def _window_activity(
     return uniq, counts.astype(np.int64), times[start + counts - 1]
 
 
+# -- shared-memory transport -------------------------------------------------
+#
+# The pickle transport ships each shard a sliced FrozenState (dicts of
+# UserHistory objects, row_of dict, per-question dataclasses) through
+# the process-pool pipe on every (re)build.  The shm transport instead
+# publishes the flat arrays once per refit epoch and lets each worker
+# *reconstruct* the derived dict structures locally from the mapped
+# views.  Every reconstruction below is value-exact: the worker reads
+# the same float bits the parent's tables hold.
+
+
+def _sliced_shard_arrays(
+    tbl: BatchTables, histories, users_sel: list[int]
+) -> dict[str, np.ndarray]:
+    """One shard's flat table arrays, ready for shm publication.
+
+    Unlike :func:`slice_tables` this skips the ``row_of``/``delta``
+    dict work entirely — workers rebuild ``row_of`` and ``dup_users``
+    from ``hist_tids`` (the per-user answered-thread ids in arrival
+    order), and the leave-one-out ``response_times`` come back exactly
+    via ``times_sorted[seg_start + time_rank]``, so no arrival-order
+    response-time array ships at all.
+    """
+    idx = np.fromiter(
+        (tbl.user_index[u] for u in users_sel),
+        dtype=np.int64,
+        count=len(users_sel),
+    )
+    counts = tbl.n[idx] if idx.size else np.zeros(0, dtype=np.int64)
+    seg_start = np.zeros(idx.size, dtype=np.int64)
+    if idx.size > 1:
+        np.cumsum(counts[:-1], out=seg_start[1:])
+    if idx.size:
+        rows = np.concatenate(
+            [
+                np.arange(tbl.seg_start[i], tbl.seg_start[i] + tbl.n[i])
+                for i in idx.tolist()
+            ]
+        )
+        hist_tids = np.concatenate(
+            [np.asarray(histories[u].answered_thread_ids) for u in users_sel]
+        )
+    else:
+        rows = np.empty(0, dtype=np.int64)
+        hist_tids = np.empty(0, dtype=ID_DTYPE)
+    return {
+        "users": np.asarray(users_sel, dtype=np.int64),
+        "n": counts,
+        "votes_sum": tbl.votes_sum[idx],
+        "median_rt": tbl.median_rt[idx],
+        "d_u": tbl.d_u[idx],
+        "topic_sum": tbl.topic_sum[idx],
+        "seg_start": seg_start,
+        "hist_topics": tbl.hist_topics[rows],
+        "hist_votes": tbl.hist_votes[rows],
+        "hist_answer_topics": tbl.hist_answer_topics[rows],
+        "times_sorted": tbl.times_sorted[rows],
+        "time_rank": tbl.time_rank[rows],
+        "hist_tids": hist_tids,
+    }
+
+
+def _question_columns(frozen: FrozenState):
+    """``(tids, votes, word_length, code_length, topics)`` columns of
+    the frozen question info, whatever container it lives in."""
+    qi = frozen.question_info
+    if isinstance(qi, ColumnQuestionInfo):
+        return qi.tids, qi.votes, qi.word_length, qi.code_length, qi.topics
+    tids = np.fromiter(qi, dtype=np.int64, count=len(qi))
+    infos = [qi[int(t)] for t in tids.tolist()]
+    if infos:
+        topics = np.stack([info.topics for info in infos])
+    else:
+        d_u = frozen.batch_tables.d_u
+        k = d_u.shape[1] if getattr(d_u, "ndim", 0) == 2 else 0
+        topics = np.zeros((0, k))
+    return (
+        tids,
+        np.array([info.votes for info in infos]),
+        np.array([info.word_length for info in infos]),
+        np.array([info.code_length for info in infos]),
+        topics,
+    )
+
+
+class _ShardHistories:
+    """Lazy ``user -> UserHistory`` over a shard's mapped table arrays.
+
+    Only the extractor's slow path (users in ``dup_users``) reads
+    histories, so building one dict of array objects per user up front
+    would be wasted work on the hot path; slices are materialized on
+    lookup instead.  Values are exact: the table blocks were copied
+    row-for-row from the arrays the object histories fed.
+    """
+
+    def __init__(
+        self, tables: BatchTables, hist_tids: np.ndarray, rt_flat: np.ndarray
+    ):
+        self._tables = tables
+        self._hist_tids = hist_tids
+        self._rt_flat = rt_flat
+
+    def get(self, user: int, default=None):
+        i = self._tables.user_index.get(user)
+        if i is None:
+            return default
+        t = self._tables
+        lo = int(t.seg_start[i])
+        hi = lo + int(t.n[i])
+        return UserHistory(
+            answered_thread_ids=self._hist_tids[lo:hi],
+            answered_question_topics=t.hist_topics[lo:hi],
+            answer_votes=t.hist_votes[lo:hi],
+            response_times=self._rt_flat[lo:hi],
+            answer_topic_vectors=t.hist_answer_topics[lo:hi],
+        )
+
+    def __getitem__(self, user: int) -> UserHistory:
+        history = self.get(user)
+        if history is None:
+            raise KeyError(user)
+        return history
+
+    def __contains__(self, user: int) -> bool:
+        return user in self._tables.user_index
+
+    def __iter__(self):
+        return iter(self._tables.user_index)
+
+    def __len__(self) -> int:
+        return len(self._tables.user_index)
+
+
+def _tables_from_views(views: dict[str, np.ndarray]) -> BatchTables:
+    """Rebuild a shard's :class:`BatchTables` over mapped shm views.
+
+    ``row_of`` maps each (user, answered thread) pair to its
+    concatenated row — positions in the zipped enumeration are exactly
+    the global row ids because blocks are laid out per user in order.
+    Users who answered some thread twice get their later row in the
+    dict, but the batch engine consults ``dup_users`` first, so those
+    entries are never read — matching the canonical tables, which omit
+    them.  ``dup_users`` itself falls out of a per-block sort: any
+    adjacent equal (block, tid) pair marks a duplicate.
+    """
+    users = views["users"]
+    n = np.asarray(views["n"])
+    seg_start = np.asarray(views["seg_start"])
+    hist_tids = views["hist_tids"]
+    total = int(n.sum())
+    u_rep = np.repeat(users, n)
+    row_of = dict(
+        zip(zip(u_rep.tolist(), hist_tids.tolist()), range(total))
+    )
+    block = np.repeat(np.arange(users.size), n)
+    order = np.lexsort((hist_tids, block))
+    b_sorted = block[order]
+    t_sorted = hist_tids[order]
+    dup_mask = (b_sorted[1:] == b_sorted[:-1]) & (
+        t_sorted[1:] == t_sorted[:-1]
+    )
+    dup_users = {
+        int(users[b]) for b in np.unique(b_sorted[1:][dup_mask]).tolist()
+    }
+    return BatchTables(
+        user_index={int(u): i for i, u in enumerate(users.tolist())},
+        n=n,
+        votes_sum=views["votes_sum"],
+        median_rt=views["median_rt"],
+        d_u=views["d_u"],
+        topic_sum=views["topic_sum"],
+        seg_start=seg_start,
+        hist_topics=views["hist_topics"],
+        hist_votes=views["hist_votes"],
+        hist_answer_topics=views["hist_answer_topics"],
+        times_sorted=views["times_sorted"],
+        time_rank=views["time_rank"],
+        row_of=row_of,
+        dup_users=dup_users,
+    )
+
+
+def build_worker_from_shm(payload: ShmShardPayload) -> ShardWorker:
+    """ShardPool factory for the shm transport: map blocks, rebuild state.
+
+    Runs inside the worker process.  Attaches the epoch's global and
+    per-shard blocks zero-copy, reconstructs the derived dict
+    structures, and returns a :class:`ShardWorker` that owns the two
+    mappings (closed again by :meth:`ShardWorker.release` on the next
+    epoch swap or at teardown).
+    """
+    g_shm, g_views = shm_attach(payload.global_manifest)
+    s_shm, s_views = shm_attach(payload.shard_manifest)
+    for view in (*g_views.values(), *s_views.values()):
+        view.flags.writeable = False
+    g = pickle.loads(g_views["globals_pickle"].tobytes())
+    tables = _tables_from_views(s_views)
+    # Arrival-order response times reconstructed from the sorted block:
+    # row j's time is its block's sorted array at the row's rank.
+    rt_flat = (
+        tables.times_sorted[
+            np.repeat(tables.seg_start, tables.n) + tables.time_rank
+        ]
+        if int(tables.n.sum())
+        else np.empty(0)
+    )
+    frozen = FrozenState(
+        question_info=ColumnQuestionInfo(
+            g_views["q_tids"],
+            g_views["q_votes"],
+            g_views["q_word"],
+            g_views["q_code"],
+            g_views["q_topics"],
+        ),
+        histories=_ShardHistories(tables, s_views["hist_tids"], rt_flat),
+        questions_asked=g["questions_asked"],
+        global_median_response=g["global_median_response"],
+        discussed_sum=g["discussed_sum"],
+        discussed_count=g["discussed_count"],
+        discussed_by_thread=g["discussed_by_thread"],
+        thread_sets=g["thread_sets"],
+        qa_graph=g["qa_graph"],
+        dense_graph=g["dense_graph"],
+        qa_closeness=g["qa_closeness"],
+        qa_betweenness=g["qa_betweenness"],
+        dense_closeness=g["dense_closeness"],
+        dense_betweenness=g["dense_betweenness"],
+        batch_tables=tables,
+        duration_hours=g["duration_hours"],
+        n_threads=g["n_threads"],
+        fingerprint=g["fingerprint"],
+    )
+    worker = ShardWorker(
+        ShardPayload(
+            shard=payload.shard,
+            n_shards=payload.n_shards,
+            frozen=frozen,
+            topics=g["topics"],
+            act_users=s_views["act_users"],
+            act_counts=s_views["act_counts"],
+            act_latest=s_views["act_latest"],
+            epoch=payload.epoch,
+        )
+    )
+    worker._shm_handles = [g_shm, s_shm]
+    return worker
+
+
 class ShardedRouter:
     """Shard-parallel drop-in for dense :class:`QuestionRouter` batches.
 
@@ -267,10 +580,18 @@ class ShardedRouter:
     canonically ordered arrays.  Output contract: bit-identical to the
     dense router called with *sorted* candidates, at any shard count.
 
-    ``mode="process"`` runs shards on persistent worker processes
-    (shared-nothing; payloads ship once); ``mode="inline"`` runs the
-    same worker objects in-process — zero IPC, same bits, useful for
-    tests and single-core machines.
+    ``mode="process"`` runs shards on persistent worker processes;
+    ``mode="inline"`` runs the same worker objects in-process — zero
+    IPC, same bits, useful for tests and single-core machines.
+
+    Process-mode state transport is ``transport="shm"`` by default:
+    each refit epoch is published once into named shared-memory blocks
+    (:mod:`repro.core.shm`) that workers map zero-copy, with workers
+    rebuilding the derived dict structures locally.  ``"pickle"``
+    ships sliced :class:`FrozenState` objects through the pool pipe
+    instead — the pre-shm baseline, kept for benchmarking.  Refits
+    swap worker state in place via :meth:`rebind` (epoch-tagged
+    handshake) rather than rebuilding pools.
     """
 
     def __init__(
@@ -282,6 +603,7 @@ class ShardedRouter:
         default_capacity: float = 1.0,
         retrieval: RetrievalConfig | None = None,
         mode: str = "inline",
+        transport: str = "shm",
     ):
         if predictor.extractor is None:
             raise RuntimeError("predictor is not fitted")
@@ -291,72 +613,269 @@ class ShardedRouter:
             raise ValueError("default_capacity must be positive")
         if mode not in ("inline", "process"):
             raise ValueError("mode must be 'inline' or 'process'")
+        if transport not in ("shm", "pickle"):
+            raise ValueError("transport must be 'shm' or 'pickle'")
         self.predictor = predictor
         self.plan = ShardPlan(n_shards)
         self.epsilon = epsilon
         self.default_capacity = default_capacity
         self.retrieval = retrieval
         self.mode = mode
-        frozen = predictor.extractor.frozen
-        tables = frozen.batch_tables
-        table_users = np.fromiter(
-            tables.user_index, dtype=np.int64, count=len(tables.user_index)
-        )
-        if self._two_stage():
-            act_users, act_counts, act_latest = _window_activity(
-                predictor.extractor.window
-            )
-        else:
-            act_users = np.empty(0, dtype=np.int64)
-            act_counts = np.empty(0, dtype=np.int64)
-            act_latest = np.empty(0)
-        # Users any index has evidence about; candidates outside this
-        # set are kept in every pool unconditionally (same rule as
-        # CandidateRetriever.pool).
-        self._known = np.union1d(table_users, act_users)
-        slim_topics = TopicModelContext(
-            predictor.topics.vocabulary, predictor.topics.model, {}
-        )
+        self.transport = transport  # inline mode shares memory already
+        self.epoch = 0
+        self._pool: ShardPool | None = None
+        self._workers: list[ShardWorker] | None = None
+        # Shm blocks backing the epoch the workers currently serve;
+        # owned (and eventually unlinked) by this parent process.
+        self._published: list = []
+        self._shm_bytes = 0
+        self._refresh_derived()
         with perf.timer("sharding.build"):
-            payloads = []
-            for shard in range(n_shards):
-                users_sel = [
-                    u for u in tables.user_index if u % n_shards == shard
-                ]
-                m = self.plan.mask(act_users, shard)
-                payloads.append(
-                    ShardPayload(
-                        shard=shard,
-                        n_shards=n_shards,
-                        frozen=slice_frozen(frozen, users_sel),
-                        topics=slim_topics,
-                        act_users=act_users[m],
-                        act_counts=act_counts[m],
-                        act_latest=act_latest[m],
-                    )
+            if mode == "process" and transport == "shm":
+                payloads, handles = self._shm_payloads(self.epoch)
+                try:
+                    self._pool = ShardPool(payloads, build_worker_from_shm)
+                except Exception:
+                    for handle in handles:
+                        shm_unlink(handle)
+                    raise
+                self._published = handles
+            elif mode == "process":
+                self._pool = ShardPool(
+                    self._object_payloads(self.epoch), ShardWorker
                 )
-            self._pool: ShardPool | None = None
-            self._workers: list[ShardWorker] | None = None
-            if mode == "process":
-                self._pool = ShardPool(payloads, ShardWorker)
             else:
-                self._workers = [ShardWorker(p) for p in payloads]
+                self._workers = [
+                    ShardWorker(p)
+                    for p in self._object_payloads(self.epoch)
+                ]
+        atexit.register(self.close)
         perf.incr("sharding.routers_built")
 
     @property
     def n_shards(self) -> int:
         return self.plan.n_shards
 
+    @property
+    def shm_bytes(self) -> int:
+        """Bytes of shard state currently published in shared memory."""
+        return self._shm_bytes
+
     def _two_stage(self) -> bool:
         return self.retrieval is not None and self.retrieval.mode == "two_stage"
 
-    def _scatter(self, method: str, *args) -> list:
-        """Run ``method(*args)`` on every shard; results in shard order."""
-        if self._pool is not None:
-            return self._pool.call_all(
-                method, [args] * self.plan.n_shards
+    def _refresh_derived(self) -> None:
+        """Recompute the parent-side views of the predictor's state."""
+        frozen = self.predictor.extractor.frozen
+        self._frozen = frozen
+        tables = frozen.batch_tables
+        table_users = np.fromiter(
+            tables.user_index, dtype=np.int64, count=len(tables.user_index)
+        )
+        if self._two_stage():
+            self._act = _window_activity(self.predictor.extractor.window)
+        else:
+            self._act = (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0),
             )
-        return [getattr(w, method)(*args) for w in self._workers]
+        # Users any index has evidence about; candidates outside this
+        # set are kept in every pool unconditionally (same rule as
+        # CandidateRetriever.pool).
+        self._known = np.union1d(table_users, self._act[0])
+        self._slim_topics = TopicModelContext(
+            self.predictor.topics.vocabulary, self.predictor.topics.model, {}
+        )
+
+    def _shard_users(self, shard: int) -> list[int]:
+        return [
+            u
+            for u in self._frozen.batch_tables.user_index
+            if u % self.n_shards == shard
+        ]
+
+    def _object_payloads(self, epoch: int) -> list[ShardPayload]:
+        """Sliced-object payloads (inline mode and pickle transport)."""
+        act_users, act_counts, act_latest = self._act
+        payloads = []
+        for shard in range(self.n_shards):
+            m = self.plan.mask(act_users, shard)
+            payloads.append(
+                ShardPayload(
+                    shard=shard,
+                    n_shards=self.n_shards,
+                    frozen=slice_frozen(
+                        self._frozen, self._shard_users(shard)
+                    ),
+                    topics=self._slim_topics,
+                    act_users=act_users[m],
+                    act_counts=act_counts[m],
+                    act_latest=act_latest[m],
+                    epoch=epoch,
+                )
+            )
+        return payloads
+
+    def _shm_payloads(
+        self, epoch: int
+    ) -> tuple[list[ShmShardPayload], list]:
+        """Publish one epoch into shm; returns (payloads, owned handles).
+
+        One global block (question columns + pickled small-globals
+        blob) plus one block per shard.  The caller owns the handles
+        and must :func:`~repro.core.shm.unlink` them when the epoch is
+        retired.
+        """
+        frozen = self._frozen
+        tables = frozen.batch_tables
+        q_tids, q_votes, q_word, q_code, q_topics = _question_columns(frozen)
+        blob = pickle.dumps(
+            {
+                "topics": self._slim_topics,
+                "questions_asked": frozen.questions_asked,
+                "global_median_response": frozen.global_median_response,
+                "discussed_sum": frozen.discussed_sum,
+                "discussed_count": frozen.discussed_count,
+                "discussed_by_thread": frozen.discussed_by_thread,
+                "thread_sets": frozen.thread_sets,
+                "qa_graph": frozen.qa_graph,
+                "dense_graph": frozen.dense_graph,
+                "qa_closeness": frozen.qa_closeness,
+                "qa_betweenness": frozen.qa_betweenness,
+                "dense_closeness": frozen.dense_closeness,
+                "dense_betweenness": frozen.dense_betweenness,
+                "duration_hours": frozen.duration_hours,
+                "n_threads": frozen.n_threads,
+                "fingerprint": frozen.fingerprint,
+            }
+        )
+        handles: list = []
+        try:
+            g_shm, g_manifest = shm_publish(
+                {
+                    "q_tids": q_tids,
+                    "q_votes": q_votes,
+                    "q_word": q_word,
+                    "q_code": q_code,
+                    "q_topics": q_topics,
+                    "globals_pickle": np.frombuffer(blob, dtype=np.uint8),
+                },
+                f"e{epoch}-global",
+            )
+            handles.append(g_shm)
+            act_users, act_counts, act_latest = self._act
+            payloads = []
+            for shard in range(self.n_shards):
+                arrays = _sliced_shard_arrays(
+                    tables, frozen.histories, self._shard_users(shard)
+                )
+                m = self.plan.mask(act_users, shard)
+                arrays["act_users"] = act_users[m]
+                arrays["act_counts"] = act_counts[m]
+                arrays["act_latest"] = act_latest[m]
+                s_shm, s_manifest = shm_publish(
+                    arrays, f"e{epoch}-s{shard}"
+                )
+                handles.append(s_shm)
+                payloads.append(
+                    ShmShardPayload(
+                        shard=shard,
+                        n_shards=self.n_shards,
+                        epoch=epoch,
+                        global_manifest=g_manifest,
+                        shard_manifest=s_manifest,
+                    )
+                )
+        except Exception:
+            for handle in handles:
+                shm_unlink(handle)
+            raise
+        self._shm_bytes = sum(h.size for h in handles)
+        perf.gauge_max("sharding.shm_bytes", self._shm_bytes)
+        return payloads, handles
+
+    # -- refit handshake -----------------------------------------------------
+
+    def rebind(self, predictor: ForumPredictor) -> None:
+        """Swap every shard onto ``predictor``'s freshly refit state.
+
+        Epoch-tagged handshake: the new epoch is published (shm) or
+        sliced (pickle/inline), every worker builds its replacement
+        state *before* releasing the old one and echoes the epoch tag
+        back; only once all shards have acknowledged does the parent
+        retire the previous epoch's blocks.  A refit therefore swaps
+        worker views atomically per shard instead of tearing down and
+        re-spawning the pool.
+        """
+        if predictor.extractor is None:
+            raise RuntimeError("predictor is not fitted")
+        self.predictor = predictor
+        self._refresh_derived()
+        epoch = self.epoch + 1
+        with perf.timer("sharding.publish"):
+            handles: list = []
+            if self._pool is not None:
+                if self.transport == "shm":
+                    payloads, handles = self._shm_payloads(epoch)
+                    factory = build_worker_from_shm
+                else:
+                    payloads = self._object_payloads(epoch)
+                    factory = ShardWorker
+                try:
+                    acks = self._pool.swap_all(factory, payloads)
+                except Exception:
+                    for handle in handles:
+                        shm_unlink(handle)
+                    raise
+                if acks != [epoch] * self.n_shards:
+                    for handle in handles:
+                        shm_unlink(handle)
+                    raise RuntimeError(
+                        f"shard epoch handshake failed: got {acks}, "
+                        f"expected {epoch} from every shard"
+                    )
+            else:
+                self._workers = [
+                    ShardWorker(p) for p in self._object_payloads(epoch)
+                ]
+        stale, self._published = self._published, handles
+        self.epoch = epoch
+        # Linux unlinks while mapped: the old blocks vanish from the
+        # namespace now and their memory goes when the last worker
+        # mapping closed in the swap.
+        for handle in stale:
+            shm_unlink(handle)
+        perf.incr("sharding.rebinds")
+
+    def _scatter(self, method: str, *args) -> list:
+        """Run ``method(*args)`` on every shard; results in shard order.
+
+        Per-shard gather latency (scatter start to result in hand) is
+        recorded under ``sharding.scatter.shard<i>``.
+        """
+        started = time.perf_counter()
+        if self._pool is not None:
+            futures = [
+                self._pool.submit(shard, method, *args)
+                for shard in range(self.plan.n_shards)
+            ]
+            results = []
+            for shard, future in enumerate(futures):
+                results.append(future.result())
+                perf.record_latency(
+                    f"sharding.scatter.shard{shard}",
+                    time.perf_counter() - started,
+                )
+            return results
+        results = []
+        for shard, worker in enumerate(self._workers):
+            t0 = time.perf_counter()
+            results.append(getattr(worker, method)(*args))
+            perf.record_latency(
+                f"sharding.scatter.shard{shard}", time.perf_counter() - t0
+            )
+        return results
 
     # -- candidate generation ------------------------------------------------
 
@@ -411,6 +930,52 @@ class ShardedRouter:
         perf.incr("sharding.pools_generated", len(pools))
         return pools
 
+    # -- feature extraction --------------------------------------------------
+
+    def feature_rows(
+        self,
+        threads: list[Thread],
+        users_per_thread: list[np.ndarray],
+    ) -> list[tuple[np.ndarray, np.ndarray | None]]:
+        """Canonically merged ``(users, feature_rows)`` per thread.
+
+        ONE scatter covers the whole batch: every shard featurizes its
+        slice of every thread's pool in a single call, then the parent
+        restores exact ascending-user order per thread (shards
+        partition users disjointly and return them sorted, so a stable
+        argsort over the concatenation is the dense row order).  ``x``
+        is ``None`` for threads whose pool hit no shard user — the
+        caller decides what an empty matrix means.  This is the serving
+        hot path's entry point; :meth:`route_batch` layers the model
+        heads and LP tail on top.
+        """
+        pools = [
+            np.asarray(users, dtype=np.int64) for users in users_per_thread
+        ]
+        with perf.timer("sharding.score"):
+            shard_scores = self._scatter("score", threads, pools)
+        merged: list[tuple[np.ndarray, np.ndarray | None]] = []
+        with perf.timer("sharding.merge"):
+            for i in range(len(threads)):
+                user_parts = []
+                x_parts = []
+                for shard_result in shard_scores:
+                    users, x = shard_result[i]
+                    if users.size:
+                        user_parts.append(users)
+                        x_parts.append(x)
+                if not user_parts:
+                    merged.append((np.empty(0, dtype=np.int64), None))
+                    continue
+                users = np.concatenate(user_parts)
+                x = np.concatenate(x_parts, axis=0)
+                # Canonical merge: shards partition users disjointly and
+                # return them ascending, so one stable argsort restores
+                # the exact dense (sorted-candidate) row order.
+                order = np.argsort(users, kind="stable")
+                merged.append((users[order], x[order]))
+        return merged
+
     # -- routing -------------------------------------------------------------
 
     def route(
@@ -455,63 +1020,60 @@ class ShardedRouter:
         else:
             pools = [candidates] * len(threads)
             pool_sizes = [None] * len(threads)
-        with perf.timer("sharding.score"):
-            shard_scores = self._scatter("score", threads, pools)
+        rows = self.feature_rows(threads, pools)
         results: list[RoutingResult | None] = []
-        with perf.timer("sharding.merge"):
-            for i, thread in enumerate(threads):
-                user_parts = []
-                x_parts = []
-                for shard_result in shard_scores:
-                    users, x = shard_result[i]
-                    if users.size:
-                        user_parts.append(users)
-                        x_parts.append(x)
-                if not user_parts:
-                    results.append(None)
-                    continue
-                users = np.concatenate(user_parts)
-                x = np.concatenate(x_parts, axis=0)
-                # Canonical merge: shards partition users disjointly and
-                # return them ascending, so one stable argsort restores
-                # the exact dense (sorted-candidate) row order.
-                order = np.argsort(users, kind="stable")
-                users = users[order]
-                x = x[order]
-                horizons = np.full(
-                    users.size,
-                    float(self.predictor._horizons([thread])[0]),
+        for i, thread in enumerate(threads):
+            users, x = rows[i]
+            if x is None:
+                results.append(None)
+                continue
+            horizons = np.full(
+                users.size,
+                float(self.predictor._horizons([thread])[0]),
+            )
+            answer = self.predictor.answer_model.predict_proba(x)
+            votes = self.predictor.vote_model.predict(x)
+            times = self.predictor.timing_model.predict(x, horizons)
+            eligible = np.flatnonzero(answer >= self.epsilon)
+            if eligible.size == 0:
+                results.append(None)
+                continue
+            results.append(
+                finish_recommendation(
+                    thread.thread_id,
+                    users[eligible],
+                    answer[eligible],
+                    votes[eligible],
+                    times[eligible],
+                    tradeoff=tradeoff,
+                    recent_load=recent_load,
+                    capacities=capacities,
+                    default_capacity=self.default_capacity,
+                    pool_size=pool_sizes[i],
                 )
-                answer = self.predictor.answer_model.predict_proba(x)
-                votes = self.predictor.vote_model.predict(x)
-                times = self.predictor.timing_model.predict(x, horizons)
-                eligible = np.flatnonzero(answer >= self.epsilon)
-                if eligible.size == 0:
-                    results.append(None)
-                    continue
-                results.append(
-                    finish_recommendation(
-                        thread.thread_id,
-                        users[eligible],
-                        answer[eligible],
-                        votes[eligible],
-                        times[eligible],
-                        tradeoff=tradeoff,
-                        recent_load=recent_load,
-                        capacities=capacities,
-                        default_capacity=self.default_capacity,
-                        pool_size=pool_sizes[i],
-                    )
-                )
+            )
         perf.incr("sharding.questions_routed", len(threads))
         return results
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        """Shut shard workers down and retire the published shm blocks.
+
+        Idempotent; also registered with ``atexit`` so an abandoned
+        router cannot leave orphan worker processes or ``/dev/shm``
+        blocks behind.  Inline workers survive close (they are plain
+        in-process objects), preserving the pre-existing contract.
+        """
+        atexit.unregister(self.close)
         if self._pool is not None:
+            self._pool.release_all()
             self._pool.close()
             self._pool = None
+        stale, self._published = self._published, []
+        self._shm_bytes = 0
+        for handle in stale:
+            shm_unlink(handle)
 
     def __enter__(self) -> "ShardedRouter":
         return self

@@ -1,0 +1,155 @@
+"""Named shared-memory publication of numpy array sets.
+
+The sharded serving path publishes refit state once per epoch into
+named ``multiprocessing.shared_memory`` blocks that persistent shard
+workers map zero-copy, instead of re-pickling numpy tables through the
+process-pool pipe on every scatter.  This module is the transport
+primitive: pack a ``{key: ndarray}`` dict into one block and hand out a
+picklable :class:`ShmManifest` that any process can :func:`attach` to
+rebuild the arrays as views.
+
+Lifetime contract: exactly one process — the publisher — owns each
+block and eventually unlinks it; attachers only ever ``close()`` their
+mapping.  Python 3.11's ``SharedMemory`` registers *every* open (create
+and attach alike) with the ``resource_tracker``; with the fork-started
+worker pools used here all processes share the parent's tracker, whose
+name cache is a *set*, so create + N attaches collapse to one entry
+that the publisher's :func:`unlink` retires — no extra bookkeeping
+needed, and the tracker doubles as a safety net that reclaims blocks
+if the whole process tree dies without cleanup.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import numpy as np
+
+from .. import perf
+
+__all__ = [
+    "SHM_PREFIX",
+    "ShmManifest",
+    "publish",
+    "attach",
+    "unlink",
+    "active_shm_names",
+]
+
+# Every block name starts with this, so leak checks (and emergency
+# cleanup) can recognise ours under /dev/shm.
+SHM_PREFIX = "repro-shm"
+
+# Per-entry alignment inside a block: cache-line aligned offsets keep
+# every mapped array safely aligned for its dtype.
+_ALIGN = 64
+
+# Per-process sequence number; combined with the pid it makes block
+# names unique even across rapid republications of the same epoch.
+_seq = 0
+
+
+def _next_name(tag: str) -> str:
+    global _seq
+    _seq += 1
+    return f"{SHM_PREFIX}-{os.getpid()}-{_seq}-{tag}"
+
+
+@dataclass(frozen=True)
+class ShmManifest:
+    """Picklable directory of the arrays packed into one named block.
+
+    ``entries`` maps array key to ``(dtype_str, shape, byte_offset)``;
+    the manifest is all a worker needs (a few hundred bytes down the
+    pipe) to map every array zero-copy.
+    """
+
+    name: str
+    total_bytes: int
+    entries: dict[str, tuple[str, tuple[int, ...], int]]
+
+    @property
+    def keys(self) -> list[str]:
+        return list(self.entries)
+
+
+def publish(
+    arrays: dict[str, np.ndarray], tag: str
+) -> tuple[shared_memory.SharedMemory, ShmManifest]:
+    """Pack ``arrays`` into one fresh named block; caller owns the handle.
+
+    The returned ``SharedMemory`` must stay referenced until the block
+    is retired with :func:`unlink`; the manifest may be pickled to any
+    number of attaching processes.
+    """
+    entries: dict[str, tuple[str, tuple[int, ...], int]] = {}
+    offset = 0
+    packed: dict[str, np.ndarray] = {}
+    for key, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        packed[key] = arr
+        entries[key] = (arr.dtype.str, arr.shape, offset)
+        offset += arr.nbytes
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+    total = max(offset, 1)  # zero-size blocks are not allowed
+    shm = shared_memory.SharedMemory(
+        name=_next_name(tag), create=True, size=total
+    )
+    for key, arr in packed.items():
+        _, shape, off = entries[key]
+        view = np.ndarray(shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
+        view[...] = arr
+        del view
+    perf.incr("shm.blocks_published")
+    perf.incr("shm.bytes_published", total)
+    return shm, ShmManifest(shm.name, total, entries)
+
+
+def attach(
+    manifest: ShmManifest,
+) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Map a published block and rebuild its arrays as zero-copy views.
+
+    The caller must keep the returned handle alive as long as any view
+    is in use, then drop the views and ``close()`` it — never
+    ``unlink()``; the publisher owns the block.
+    """
+    shm = shared_memory.SharedMemory(name=manifest.name)
+    views = {
+        key: np.ndarray(
+            shape, dtype=np.dtype(dtype_str), buffer=shm.buf, offset=off
+        )
+        for key, (dtype_str, shape, off) in manifest.entries.items()
+    }
+    perf.incr("shm.blocks_attached")
+    perf.incr("shm.bytes_mapped", manifest.total_bytes)
+    return shm, views
+
+
+def unlink(shm: shared_memory.SharedMemory) -> None:
+    """Retire a block the calling process published (idempotent)."""
+    try:
+        shm.close()
+    except BufferError:
+        # Views still alive in this process; the mapping stays until
+        # they are collected, but the name must still be retired.
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
+def active_shm_names() -> list[str]:
+    """Names of live blocks published by this library (Linux tmpfs).
+
+    Empty on platforms without ``/dev/shm``; tests use this to assert
+    that serving runs leave nothing behind.
+    """
+    root = Path("/dev/shm")
+    if not root.is_dir():
+        return []
+    return sorted(p.name for p in root.glob(f"{SHM_PREFIX}-*"))

@@ -60,6 +60,7 @@ from ..topics.tokenizer import split_text_and_code
 from .columnar import (
     AnswerLog,
     BatchTables,
+    EventStore,
     UserHistory,
     UserSummary,
     assemble_tables,
@@ -70,9 +71,11 @@ from .topic_context import TopicModelContext
 
 __all__ = [
     "QuestionInfo",
+    "ColumnQuestionInfo",
     "ForumState",
     "FrozenState",
     "question_info_from_thread",
+    "frozen_from_columns",
 ]
 
 # Historical aliases: the freeze artifacts moved to ``core.columnar``
@@ -107,6 +110,52 @@ def question_info_from_thread(
         code_length=float(split.code_length),
         topics=topics.post_topics(thread.question),
     )
+
+
+class ColumnQuestionInfo:
+    """Read-only ``tid -> QuestionInfo`` mapping over question columns.
+
+    The columnar stand-in for ``FrozenState.question_info``: instead of
+    materializing one :class:`QuestionInfo` per question up front (the
+    scale path holds hundreds of thousands), it keeps the per-question
+    columns as flat arrays — typically zero-copy views into a shared
+    memory block — and builds dataclass instances on lookup only.  The
+    topic row handed out is a view, never a copy.
+    """
+
+    def __init__(self, tids, votes, word_length, code_length, topics):
+        self.tids = np.asarray(tids)
+        self.votes = np.asarray(votes)
+        self.word_length = np.asarray(word_length)
+        self.code_length = np.asarray(code_length)
+        self.topics = np.asarray(topics)
+        self._row = {int(t): i for i, t in enumerate(self.tids.tolist())}
+
+    def get(self, tid: int, default=None):
+        i = self._row.get(tid)
+        if i is None:
+            return default
+        return QuestionInfo(
+            votes=float(self.votes[i]),
+            word_length=float(self.word_length[i]),
+            code_length=float(self.code_length[i]),
+            topics=self.topics[i],
+        )
+
+    def __getitem__(self, tid: int) -> QuestionInfo:
+        info = self.get(tid)
+        if info is None:
+            raise KeyError(tid)
+        return info
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._row
+
+    def __iter__(self):
+        return iter(self._row)
+
+    def __len__(self) -> int:
+        return len(self._row)
 
 
 @dataclass(frozen=True)
@@ -545,3 +594,82 @@ class ForumState:
             )
             self._frozen_key = key
         return self._frozen
+
+
+def frozen_from_columns(
+    log: AnswerLog,
+    questions: EventStore,
+    *,
+    duration_hours: float | None = None,
+) -> FrozenState:
+    """A servable :class:`FrozenState` built straight from columnar stores.
+
+    The scale path: a streamed forum
+    (:func:`~repro.forum.streaming.ingest_to_shards`) has answer rows
+    and question columns but no ``Thread`` objects and no post bodies,
+    so the structures that need bodies or explicit post lists
+    (discussed-topic aggregates, thread co-occurrence sets, SLN graphs
+    and centralities) are empty here — the corresponding features
+    evaluate to their documented no-evidence defaults.  Everything the
+    batch feature engine and the sharded serving path actually reduce
+    over — per-user histories, batch tables, per-question info — is
+    exact, and ``question_info`` stays columnar
+    (:class:`ColumnQuestionInfo`) instead of materializing one
+    dataclass per question.
+    """
+    with perf.timer("state.frozen_from_columns"):
+        users_col = log.column("user")
+        response_times = log.column("response_time")
+        order = np.argsort(users_col, kind="stable")
+        sorted_users = users_col[order]
+        starts = np.flatnonzero(
+            np.r_[True, sorted_users[1:] != sorted_users[:-1]]
+        ) if sorted_users.size else np.empty(0, dtype=np.int64)
+        ends = np.append(starts[1:], sorted_users.size)
+        summaries: dict[int, UserSummary] = {}
+        for lo, hi in zip(starts.tolist(), ends.tolist()):
+            # Stable argsort keeps each user's rows in arrival order.
+            summaries[int(sorted_users[lo])] = user_summary(
+                log, order[lo:hi]
+            )
+        users_sorted = sorted(summaries)
+        tables = assemble_tables(summaries, users_sorted, log.n_topics)
+        uniq, counts = np.unique(questions.column("asker"), return_counts=True)
+        timestamps = log.column("timestamp")
+        if duration_hours is None:
+            duration_hours = max(
+                float(timestamps.max()) if timestamps.size else 0.0,
+                float(questions.column("created_at").max())
+                if len(questions)
+                else 0.0,
+            )
+        return FrozenState(
+            question_info=ColumnQuestionInfo(
+                questions.column("thread_id"),
+                questions.column("votes"),
+                questions.column("word_chars"),
+                questions.column("code_chars"),
+                questions.column("topics"),
+            ),
+            histories={u: summaries[u].history for u in users_sorted},
+            questions_asked=dict(
+                zip((int(u) for u in uniq.tolist()), counts.tolist())
+            ),
+            global_median_response=float(np.median(response_times))
+            if response_times.size
+            else 1.0,
+            discussed_sum={},
+            discussed_count={},
+            discussed_by_thread={},
+            thread_sets={},
+            qa_graph=EdgeMultiset(qa_links).graph(),
+            dense_graph=EdgeMultiset(dense_links).graph(),
+            qa_closeness={},
+            qa_betweenness={},
+            dense_closeness={},
+            dense_betweenness={},
+            batch_tables=tables,
+            duration_hours=float(duration_hours),
+            n_threads=len(questions),
+            fingerprint=f"columnar:{len(questions)}q:{len(log)}a",
+        )

@@ -155,6 +155,46 @@ class TestIngestGate:
         assert gate.n_events_admitted == 2
         assert gate.n_events_rejected == 0
 
+    def test_block_policy_under_concurrent_submitters(self):
+        """Many blocked submitters drain in order, none lost, wait timed.
+
+        Ten submitters race a queue of depth 2 while a slow consumer
+        drains one item per virtual second: every submission must be
+        admitted eventually (backpressure preserves work), arrive in
+        submission order (single-consumer FIFO), and the queue-full
+        waits must land in the ``serving.admission_wait`` histogram.
+        """
+        from repro import perf
+
+        gate = IngestGate(
+            AdmissionConfig(max_pending_queries=2, query_overflow="block")
+        )
+        n = 10
+        drained = []
+
+        async def submitter(i):
+            await asyncio.sleep(0.001 * i)  # fixed submission order
+            assert await gate.offer_query(i)
+
+        async def consumer():
+            while len(drained) < n:
+                drained.append(await gate.queries.get())
+                await asyncio.sleep(1.0)  # slow drain forces blocking
+
+        async def main():
+            await asyncio.gather(
+                consumer(), *(submitter(i) for i in range(n))
+            )
+
+        with perf.use_registry() as registry:
+            VirtualClock().run(main())
+        assert drained == list(range(n))
+        assert gate.n_queries_admitted == n
+        assert gate.n_queries_rejected == 0
+        waits = registry.histogram("serving.admission_wait")
+        assert waits.count >= n - gate.config.max_pending_queries - 1
+        assert waits.percentile(99) > 0
+
     def test_closed_gate_raises(self):
         from repro.core.serving import AdmissionError
 

@@ -1,0 +1,408 @@
+"""Sharded zero-copy serving: bit-identity, caching, and teardown.
+
+The serving-level contract on top of the router-level sharding suite:
+a :class:`ServingCore` configured with ``serving_shards > 1`` — inline
+or across persistent worker processes, over shared memory or pickled
+state — answers every query of a load run bit-identically to the
+single-process core, across refits (each refit republishes state and
+atomically swaps the workers' views).  The epoch-keyed prediction
+cache changes latency, never answers; and every run releases its
+workers and shared-memory blocks.
+"""
+
+import multiprocessing
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro import perf
+from repro.core.pipeline import PredictorConfig
+from repro.core.resilience import DegradationReport, ResilienceConfig
+from repro.core.retrieval import RetrievalConfig
+from repro.core.online import OnlineConfig
+from repro.core.serving import (
+    BatchPolicy,
+    PredictionCache,
+    RecommendationService,
+    ServiceConfig,
+    ServingCore,
+    run_load,
+)
+from repro.core.serving.service import OnlineReport
+from repro.core.shm import active_shm_names
+from repro.forum.generator import ForumConfig, generate_forum
+from repro.forum.models import Post, Thread
+from repro.forum.traffic import TrafficConfig, generate_traffic
+
+FAST_PREDICTOR = PredictorConfig(
+    n_topics=2, vote_epochs=30, timing_epochs=30, betweenness_sample_size=50
+)
+FAST_ONLINE = OnlineConfig(
+    refit_interval_hours=96.0, window_hours=360.0, warmup_hours=96.0
+)
+TWO_STAGE = RetrievalConfig(
+    topic_top_k=8, recency_top_k=16, pool_size=24, use_mf=False
+)
+
+
+@pytest.fixture(scope="module")
+def stream_dataset():
+    forum = generate_forum(
+        ForumConfig(n_users=120, n_questions=140, activity_tail=1.4), seed=3
+    )
+    clean, _ = forum.dataset.preprocess()
+    return clean
+
+
+@pytest.fixture(scope="module")
+def traffic(stream_dataset):
+    return generate_traffic(
+        stream_dataset,
+        TrafficConfig(n_askers=30, n_events=8, duration_s=10.0, seed=11),
+    )
+
+
+def make_core(dataset, **overrides) -> ServingCore:
+    """A freshly warmed core; identical warm path at any shard count."""
+    core = ServingCore(FAST_PREDICTOR, replace(FAST_ONLINE, **overrides))
+    RecommendationService(core).warm(dataset)
+    return core
+
+
+def run_traffic(core, requests, *, close_core=False):
+    service = RecommendationService(
+        core,
+        ServiceConfig(
+            batch=BatchPolicy(max_batch=8, max_wait_s=0.05), cost=None
+        ),
+    )
+    return service, run_load(
+        service, requests, settle_s=1.0, close_core=close_core
+    )
+
+
+def assert_responses_identical(expected, got):
+    assert len(expected) == len(got)
+    for a, b in zip(expected, got):
+        assert a.status == b.status
+        assert a.degraded == b.degraded
+        assert getattr(a, "ranked", None) == getattr(b, "ranked", None)
+        assert getattr(a, "routed", None) == getattr(b, "routed", None)
+        assert getattr(a, "score", None) == getattr(b, "score", None)
+
+
+def make_question(tid, author, ts, body="<p>common0 common1</p>"):
+    return Thread(
+        Post(
+            post_id=900000 + tid,
+            thread_id=tid,
+            author=author,
+            timestamp=ts,
+            votes=0,
+            body=body,
+            is_question=True,
+        )
+    )
+
+
+class TestShardedLoadEquivalence:
+    """Same traffic, same answers, at every shard count and transport."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self, stream_dataset, traffic):
+        core = make_core(stream_dataset)
+        _, report = run_traffic(core, traffic)
+        return report.responses
+
+    @pytest.mark.parametrize(
+        "n_shards,mode,transport",
+        [
+            (2, "inline", "shm"),
+            (4, "inline", "shm"),
+            (8, "inline", "shm"),
+            (2, "process", "shm"),
+            (2, "process", "pickle"),
+        ],
+    )
+    def test_matches_single_process(
+        self, stream_dataset, traffic, baseline, n_shards, mode, transport
+    ):
+        before_children = {p.pid for p in multiprocessing.active_children()}
+        core = make_core(
+            stream_dataset,
+            serving_shards=n_shards,
+            shard_mode=mode,
+            shard_transport=transport,
+        )
+        try:
+            assert core._sharded is not None
+            assert core._sharded.n_shards == n_shards
+            # Warm replay crossed >= 2 refit grid points, so the shard
+            # fan-out has already been rebound (epoch handshake) at
+            # least once before serving starts.
+            assert core.refit_epoch >= 2
+            if mode == "process":
+                assert core._sharded.epoch == core.refit_epoch - 1
+            _, report = run_traffic(core, traffic)
+            assert_responses_identical(baseline, report.responses)
+        finally:
+            core.close()
+        assert active_shm_names() == []
+        leaked = {
+            p.pid for p in multiprocessing.active_children()
+        } - before_children
+        assert leaked == set()
+
+    def test_two_stage_retrieval_matches(self, stream_dataset, traffic):
+        dense_pool = make_core(stream_dataset, retrieval=TWO_STAGE)
+        _, expected = run_traffic(dense_pool, traffic)
+        for n_shards in (2, 4):
+            core = make_core(
+                stream_dataset,
+                retrieval=TWO_STAGE,
+                serving_shards=n_shards,
+            )
+            try:
+                _, got = run_traffic(core, traffic)
+                assert_responses_identical(
+                    expected.responses, got.responses
+                )
+            finally:
+                core.close()
+
+    def test_rebind_during_load_stays_identical(self, stream_dataset):
+        """A refit mid-run republishes state; answers never fork."""
+        requests = generate_traffic(
+            stream_dataset,
+            TrafficConfig(
+                n_askers=16,
+                n_events=30,
+                duration_s=10.0,
+                hours_per_second=12.0,  # crosses a refit grid point
+                seed=13,
+            ),
+        )
+        base = make_core(stream_dataset)
+        _, expected = run_traffic(base, requests)
+        assert base.refit_epoch >= 3  # warm refits + at least one in-run
+        core = make_core(
+            stream_dataset, serving_shards=2, shard_mode="process"
+        )
+        try:
+            epoch_before = core._sharded.epoch
+            _, got = run_traffic(core, requests)
+            assert core._sharded.epoch > epoch_before  # really rebound
+            assert_responses_identical(expected.responses, got.responses)
+        finally:
+            core.close()
+        assert active_shm_names() == []
+
+
+class TestPredictionCacheServing:
+    """The cache is a latency device: hits replay stored predictions."""
+
+    @pytest.fixture(scope="class")
+    def repeat_traffic(self, stream_dataset):
+        requests = generate_traffic(
+            stream_dataset,
+            TrafficConfig(
+                n_askers=40, n_events=0, duration_s=10.0,
+                repeat_fraction=0.6, seed=17,
+            ),
+        )
+        threads = {
+            id(r.thread) for r in requests if r.kind == "query"
+        }
+        assert len(threads) < 40  # schedule really contains repeats
+        return requests
+
+    def test_cached_equals_uncached(self, stream_dataset, repeat_traffic):
+        cold = make_core(stream_dataset)
+        _, expected = run_traffic(cold, repeat_traffic)
+        warm = make_core(stream_dataset, feature_cache_pairs=100_000)
+        service, got = run_traffic(warm, repeat_traffic)
+        assert_responses_identical(expected.responses, got.responses)
+        stats = service.metrics()["cache"]
+        assert stats["hits"] > 0
+        assert stats["misses"] > 0
+        assert stats["size"] > 0
+
+    def test_cache_works_with_shards(self, stream_dataset, repeat_traffic):
+        plain = make_core(stream_dataset)
+        _, expected = run_traffic(plain, repeat_traffic)
+        core = make_core(
+            stream_dataset, serving_shards=2, feature_cache_pairs=100_000
+        )
+        try:
+            service, got = run_traffic(core, repeat_traffic)
+            assert_responses_identical(expected.responses, got.responses)
+            assert service.metrics()["cache"]["hits"] > 0
+        finally:
+            core.close()
+
+    def test_refit_clears_cache(self, stream_dataset):
+        core = make_core(stream_dataset, feature_cache_pairs=100_000)
+        report = OnlineReport()
+        t0 = core.next_refit - 1.0
+        core.process_query_batch(
+            [make_question(810000 + i, 0, t0) for i in range(3)],
+            report,
+            DegradationReport(),
+            ResilienceConfig(),
+        )
+        size_before = len(core._cache)
+        assert size_before > 0
+        epoch = core.refit_epoch
+        core.process_query_batch(
+            [make_question(820000, 1, core.next_refit + 0.5)],
+            report,
+            DegradationReport(),
+            ResilienceConfig(),
+        )
+        if core.refit_epoch > epoch:  # refit fired and rebound
+            # The bind cleared the cache; only the single post-refit
+            # query's rows can be resident now.
+            assert 0 < len(core._cache) < size_before
+
+
+class TestPredictionCacheUnit:
+    def test_lru_eviction(self):
+        cache = PredictionCache(2)
+        cache.put(1, 10, 0.1, 1.0, 5.0)
+        cache.put(2, 10, 0.2, 2.0, 6.0)
+        assert cache.get(1, 10) == (0.1, 1.0, 5.0)  # 1 becomes MRU
+        cache.put(3, 10, 0.3, 3.0, 7.0)  # evicts 2, the LRU
+        assert cache.get(2, 10) is None
+        assert cache.get(1, 10) is not None
+        assert cache.stats()["evictions"] == 1
+
+    def test_disabled_cache_stores_nothing(self):
+        cache = PredictionCache(0)
+        cache.put(1, 10, 0.1, 1.0, 5.0)
+        assert cache.get(1, 10) is None
+        assert len(cache) == 0
+
+    def test_clear_keeps_counters(self):
+        cache = PredictionCache(8)
+        cache.put(1, 10, 0.1, 1.0, 5.0)
+        cache.get(1, 10)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+
+class TestScatterBatching:
+    """One shard scatter per refit segment, not per query."""
+
+    def test_one_scatter_per_segment(self, stream_dataset):
+        core = make_core(stream_dataset, serving_shards=2)
+        try:
+            report = OnlineReport()
+            t0 = core.next_refit - 1.0
+            t1 = core.next_refit + 0.5
+            threads = [
+                make_question(700000 + i, 0, t0) for i in range(4)
+            ] + [make_question(700100 + i, 1, t1) for i in range(3)]
+            registry = perf.get_registry()
+            before = registry.counter("serving.shard_scatters")
+            responses = core.process_query_batch(
+                threads, report, DegradationReport(), ResilienceConfig()
+            )
+            after = registry.counter("serving.shard_scatters")
+            assert len(responses) == len(threads)
+            # The refit grid point splits the batch into exactly two
+            # segments; each flush costs one scatter however many
+            # queries it coalesced.
+            assert after - before == 2
+        finally:
+            core.close()
+
+    def test_single_segment_single_scatter(self, stream_dataset):
+        core = make_core(stream_dataset, serving_shards=2)
+        try:
+            report = OnlineReport()
+            t0 = core.next_refit - 1.0
+            threads = [
+                make_question(710000 + i, 0, t0) for i in range(5)
+            ]
+            registry = perf.get_registry()
+            before = registry.counter("serving.shard_scatters")
+            core.process_query_batch(
+                threads, report, DegradationReport(), ResilienceConfig()
+            )
+            assert (
+                registry.counter("serving.shard_scatters") - before == 1
+            )
+        finally:
+            core.close()
+
+
+class TestShardedMetricsAndTeardown:
+    def test_metrics_expose_cache_and_sharding(
+        self, stream_dataset, traffic
+    ):
+        core = make_core(
+            stream_dataset, serving_shards=2, feature_cache_pairs=1000
+        )
+        try:
+            service, _ = run_traffic(core, traffic)
+            metrics = service.metrics()
+            assert set(metrics["cache"]) == {
+                "size", "max_pairs", "hits", "misses", "evictions"
+            }
+            sharding = metrics["sharding"]
+            assert sharding["n_shards"] == 2
+            assert sharding["mode"] == "inline"
+            assert sharding["transport"] == "shm"
+            assert sharding["epoch"] == core._sharded.epoch
+            assert sharding["scatters"] > 0
+            assert "shm" in sharding
+            assert sharding["scatter_latency"]  # per-shard histograms
+            for entry in sharding["scatter_latency"].values():
+                assert {"count", "p50_ms", "p99_ms", "mean_ms"} <= set(
+                    entry
+                )
+            assert "batch_wait" in metrics
+            assert metrics["engine"]["refit_epoch"] == core.refit_epoch
+        finally:
+            core.close()
+
+    def test_unsharded_metrics_have_no_sharding_block(
+        self, stream_dataset, traffic
+    ):
+        core = make_core(stream_dataset)
+        service, _ = run_traffic(core, traffic)
+        metrics = service.metrics()
+        assert "sharding" not in metrics
+        assert metrics["cache"]["max_pairs"] == 0
+
+    def test_run_load_close_core_releases_everything(self, stream_dataset):
+        before_children = {p.pid for p in multiprocessing.active_children()}
+        requests = generate_traffic(
+            stream_dataset,
+            TrafficConfig(n_askers=6, n_events=0, duration_s=2.0, seed=19),
+        )
+        core = make_core(
+            stream_dataset, serving_shards=2, shard_mode="process"
+        )
+        run_traffic(core, requests, close_core=True)
+        assert core._sharded is None
+        assert active_shm_names() == []
+        leaked = {
+            p.pid for p in multiprocessing.active_children()
+        } - before_children
+        assert leaked == set()
+        core.close()  # idempotent
+
+    def test_shm_bytes_reported_while_live(self, stream_dataset):
+        core = make_core(
+            stream_dataset, serving_shards=2, shard_mode="process"
+        )
+        try:
+            assert core._sharded.shm_bytes > 0
+            assert len(active_shm_names()) > 0
+        finally:
+            core.close()
+        assert core._sharded is None or core._sharded.shm_bytes == 0
+        assert active_shm_names() == []

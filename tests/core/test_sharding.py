@@ -209,3 +209,79 @@ class TestTwoStagePools:
         for other in results[1:]:
             for a, b in zip(results[0], other):
                 assert_results_identical(a, b)
+
+
+class TestShmTransportLifecycle:
+    """Epoch handshake and teardown of the shared-memory transport."""
+
+    def test_pickle_transport_matches_shm(
+        self, predictor, query_threads, candidates
+    ):
+        inline = ShardedRouter(
+            predictor, 2, epsilon=0.3, default_capacity=3.0, mode="inline"
+        )
+        expected = inline.route_batch(
+            query_threads[:3], candidates, tradeoff=0.1
+        )
+        with ShardedRouter(
+            predictor,
+            2,
+            epsilon=0.3,
+            default_capacity=3.0,
+            mode="process",
+            transport="pickle",
+        ) as procs:
+            assert procs.shm_bytes == 0  # nothing published over shm
+            got = procs.route_batch(
+                query_threads[:3], candidates, tradeoff=0.1
+            )
+        for a, b in zip(expected, got):
+            assert_results_identical(a, b)
+
+    def test_rebind_swaps_epochs_and_retires_old_blocks(
+        self, predictor, query_threads, candidates
+    ):
+        from repro.core.shm import active_shm_names
+
+        with ShardedRouter(
+            predictor, 2, epsilon=0.3, default_capacity=3.0, mode="process"
+        ) as router:
+            assert router.epoch == 0
+            first = router.route_batch(
+                query_threads[:2], candidates, tradeoff=0.1
+            )
+            names_before = set(active_shm_names())
+            assert names_before  # epoch-0 blocks live
+            router.rebind(predictor)  # same model, fresh epoch
+            assert router.epoch == 1
+            names_after = set(active_shm_names())
+            assert names_after
+            assert names_after.isdisjoint(names_before)  # old unlinked
+            second = router.route_batch(
+                query_threads[:2], candidates, tradeoff=0.1
+            )
+            for a, b in zip(first, second):
+                assert_results_identical(a, b)
+        assert active_shm_names() == []
+
+    def test_close_releases_all_blocks_and_workers(
+        self, predictor, query_threads, candidates
+    ):
+        import multiprocessing
+
+        from repro.core.shm import active_shm_names
+
+        before = {p.pid for p in multiprocessing.active_children()}
+        router = ShardedRouter(
+            predictor, 2, epsilon=0.3, default_capacity=3.0, mode="process"
+        )
+        assert router.shm_bytes > 0
+        assert len(active_shm_names()) > 0
+        router.route_batch(query_threads[:1], candidates, tradeoff=0.1)
+        router.close()
+        router.close()  # idempotent
+        assert active_shm_names() == []
+        leaked = {
+            p.pid for p in multiprocessing.active_children()
+        } - before
+        assert leaked == set()

@@ -1,0 +1,184 @@
+"""Named shared-memory transport: publish/attach round trips exactly.
+
+The zero-copy serving path rests on one guarantee: an array published
+into a named block and mapped back through its manifest is the same
+array — values, dtype, shape — and every block a run creates is gone
+from ``/dev/shm`` once its owner unlinks it.  These tests pin both
+halves in-process (cross-process identity is covered by the sharding
+equivalence suite, which runs the same publish/attach code under
+worker processes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import EventStore
+from repro.core.shm import (
+    ShmManifest,
+    active_shm_names,
+    attach,
+    publish,
+    unlink,
+)
+
+
+def sample_arrays():
+    rng = np.random.default_rng(11)
+    return {
+        "ids": np.arange(101, dtype=np.int32),
+        "votes": rng.standard_normal(101).astype(np.float32),
+        "times": rng.uniform(0.0, 500.0, size=37),
+        "topics": rng.random((13, 8)),
+        "empty": np.empty(0, dtype=np.int64),
+        "flags": rng.integers(0, 2, size=64).astype(np.uint8),
+    }
+
+
+class TestPublishAttach:
+    def test_roundtrip_values_dtypes_shapes(self):
+        arrays = sample_arrays()
+        shm, manifest = publish(arrays, "roundtrip")
+        try:
+            other, views = attach(manifest)
+            try:
+                assert set(views) == set(arrays)
+                for name, original in arrays.items():
+                    got = views[name]
+                    assert got.dtype == original.dtype
+                    assert got.shape == original.shape
+                    np.testing.assert_array_equal(got, original)
+            finally:
+                del views
+                other.close()
+        finally:
+            unlink(shm)
+
+    def test_views_are_zero_copy(self):
+        arrays = {"x": np.arange(16, dtype=np.float64)}
+        shm, manifest = publish(arrays, "zerocopy")
+        try:
+            other, views = attach(manifest)
+            try:
+                # A write through one mapping is visible through a
+                # fresh mapping of the same block: shared pages, not a
+                # pickled copy.
+                views["x"][3] = 99.0
+                again, views2 = attach(manifest)
+                try:
+                    assert views2["x"][3] == 99.0
+                finally:
+                    del views2
+                    again.close()
+            finally:
+                del views
+                other.close()
+        finally:
+            unlink(shm)
+
+    def test_offsets_are_aligned(self):
+        _, manifest = publish_and_unlink(sample_arrays(), "aligned")
+        for _, (_, _, offset) in manifest.entries.items():
+            assert offset % 64 == 0
+
+    def test_manifest_is_picklable(self):
+        import pickle
+
+        arrays = {"a": np.arange(4)}
+        shm, manifest = publish(arrays, "pickle")
+        try:
+            clone = pickle.loads(pickle.dumps(manifest))
+            assert isinstance(clone, ShmManifest)
+            assert clone.name == manifest.name
+            assert clone.entries == manifest.entries
+            other, views = attach(clone)
+            try:
+                np.testing.assert_array_equal(views["a"], arrays["a"])
+            finally:
+                del views
+                other.close()
+        finally:
+            unlink(shm)
+
+    def test_unlink_is_idempotent(self):
+        shm, _ = publish({"a": np.arange(3)}, "twice")
+        unlink(shm)
+        unlink(shm)  # second retirement is a quiet no-op
+
+    def test_active_names_track_lifecycle(self):
+        before = set(active_shm_names())
+        shm, manifest = publish({"a": np.arange(5)}, "lifecycle")
+        try:
+            during = set(active_shm_names())
+            assert manifest.name.lstrip("/") in during - before
+        finally:
+            unlink(shm)
+        assert manifest.name.lstrip("/") not in set(active_shm_names())
+
+
+def publish_and_unlink(arrays, tag):
+    shm, manifest = publish(arrays, tag)
+    unlink(shm)
+    return shm, manifest
+
+
+class TestEventStoreShm:
+    @pytest.fixture()
+    def store(self):
+        store = EventStore(
+            {
+                "thread_id": np.int32,
+                "created_at": np.float64,
+                "votes": np.float32,
+                "topics": (np.float64, 8),
+            },
+            segment_rows=16,
+        )
+        rng = np.random.default_rng(5)
+        for start in range(0, 40, 10):  # blocks spanning segments
+            n = 10
+            store.append(
+                thread_id=np.arange(start, start + n, dtype=np.int32),
+                created_at=np.arange(start, start + n) * 1.5,
+                votes=rng.integers(0, 7, size=n).astype(np.float32),
+                topics=rng.random((n, 8)),
+            )
+        return store
+
+    def test_roundtrip_is_exact(self, store):
+        shm, descriptor = store.to_shm("events-test")
+        try:
+            mapped, handle = EventStore.from_shm(descriptor)
+            try:
+                assert len(mapped) == len(store)
+                for name in ("thread_id", "created_at", "votes", "topics"):
+                    np.testing.assert_array_equal(
+                        mapped.column(name), store.column(name)
+                    )
+            finally:
+                mapped._segments.clear()
+                handle.close()
+        finally:
+            unlink(shm)
+
+    def test_mapped_views_are_read_only(self, store):
+        shm, descriptor = store.to_shm("events-ro")
+        try:
+            mapped, handle = EventStore.from_shm(descriptor)
+            try:
+                seg = mapped._segments[0]
+                with pytest.raises((ValueError, RuntimeError)):
+                    seg["votes"][0] = 123.0
+            finally:
+                mapped._segments.clear()
+                handle.close()
+        finally:
+            unlink(shm)
+
+    def test_no_blocks_left_behind(self, store):
+        before = active_shm_names()
+        shm, descriptor = store.to_shm("events-clean")
+        mapped, handle = EventStore.from_shm(descriptor)
+        mapped._segments.clear()
+        handle.close()
+        unlink(shm)
+        assert active_shm_names() == before
