@@ -1,0 +1,104 @@
+"""Scenario preset matrix: per-regime accuracy, latency and degradation.
+
+Runs the registered :mod:`repro.forum.scenarios` presets through both
+legs of the :class:`~repro.forum.scenarios.ScenarioMatrixRunner` — the
+guarded replay loop (ranking accuracy + degradation counts under each
+preset's fault plan) and the async serving stack under the virtual
+clock (latency percentiles + shed counts under each preset's admission
+bounds):
+
+* ``smoke`` — two presets (baseline + flash_crowd) at reduced scale
+  for the fast lane; also asserts the replay digest is run-to-run
+  deterministic, the property the golden regression tests build on.
+* ``matrix`` (``@slow``) — every registered preset at full preset
+  scale, with accuracy deltas against the baseline regime.
+
+All sections land in ``BENCH_scenarios.json`` under the shared
+``benchmarks/_meta.py`` header.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from _meta import record_bench
+
+from repro.forum.scenarios import (
+    SCENARIO_ENGINES,
+    ScenarioMatrixRunner,
+    list_scenarios,
+)
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_scenarios.json"
+
+SEED = 23
+SMOKE_SCALE = 0.4
+SMOKE_PRESETS = ["baseline", "flash_crowd"]
+
+
+def test_scenario_smoke():
+    runner = ScenarioMatrixRunner(SMOKE_PRESETS, seed=SEED, scale=SMOKE_SCALE)
+    result = runner.run()
+    scenarios = result["scenarios"]
+    assert set(scenarios) == set(SMOKE_PRESETS)
+    for name, report in scenarios.items():
+        assert report["n_routed"] > 0, f"{name} routed nothing"
+        assert report["digest"], f"{name} produced no digest"
+        assert report["latency_ms"].get("p99_ms") is not None
+    # The overload preset must actually shed under its tight admission
+    # bound, and the replay digest must be run-to-run deterministic —
+    # the foundation of the golden regression tests.
+    assert scenarios["flash_crowd"]["n_rejected"] > 0
+    rerun = ScenarioMatrixRunner(
+        ["flash_crowd"], seed=SEED, scale=SMOKE_SCALE, include_serving=False
+    ).run()
+    assert (
+        rerun["scenarios"]["flash_crowd"]["digest"]
+        == scenarios["flash_crowd"]["digest"]
+    )
+
+    record_bench(
+        RESULT_PATH,
+        "smoke",
+        {
+            "presets": SMOKE_PRESETS,
+            "scale": SMOKE_SCALE,
+            "digest_deterministic": True,
+            "scenarios": scenarios,
+        },
+        seed=SEED,
+    )
+
+
+@pytest.mark.slow
+def test_scenario_matrix_full():
+    runner = ScenarioMatrixRunner(
+        seed=SEED, scale=1.0, engine_configs=SCENARIO_ENGINES
+    )
+    result = runner.run()
+    scenarios = result["scenarios"]
+    assert set(scenarios) == set(list_scenarios())
+    baseline = scenarios["baseline"]
+    assert baseline["n_degradations"] == 0, "baseline stream must be clean"
+    for name, report in scenarios.items():
+        assert report["n_routed"] > 0, f"{name} routed nothing"
+        if name != "baseline":
+            assert set(report["accuracy_delta"]) == set(report["accuracy"])
+        # The config axis: every preset also replays through the
+        # two-stage retrieve-then-rank engine.
+        two_stage = report["engines"]["two_stage"]
+        assert two_stage["n_routed"] > 0, f"{name} two-stage routed nothing"
+    # Fault-plan presets must exercise the degradation machinery.
+    assert scenarios["brigading"]["n_degradations"] > 0
+
+    record_bench(
+        RESULT_PATH,
+        "matrix",
+        {
+            "presets": sorted(scenarios),
+            "engines": result["engines"],
+            "scale": 1.0,
+            "scenarios": scenarios,
+        },
+        seed=SEED,
+    )

@@ -11,7 +11,10 @@ Subcommands cover the library's end-to-end workflow:
 * ``serve``     — run a seeded concurrent load test against the async
   serving stack and print latency percentiles;
 * ``validate``  — check a dataset file for integrity violations;
-* ``scale``     — stream a large synthetic forum into sharded columnar logs.
+* ``scale``     — stream a large synthetic forum into sharded columnar logs;
+* ``scenarios`` — run the scenario preset matrix (support desk, flash
+  crowd, brigading, ...) through replay + serving and print per-regime
+  accuracy deltas, latency percentiles and degradation counts.
 
 Usage: ``python -m repro <subcommand> ...`` (see ``--help`` per command).
 """
@@ -202,6 +205,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="questions generated per streamed chunk (memory/throughput knob)",
     )
     scale.add_argument("--seed", type=int, default=0)
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="run the scenario preset matrix through the full stack and "
+        "print per-regime accuracy deltas, latency and degradation",
+    )
+    scenarios.add_argument(
+        "--preset",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="preset to run (repeatable; default: all registered); "
+        "baseline always runs for the accuracy deltas",
+    )
+    scenarios.add_argument("--seed", type=int, default=0)
+    scenarios.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="forum size multiplier (users and questions together)",
+    )
+    scenarios.add_argument(
+        "--no-serving",
+        action="store_true",
+        help="skip the async serving leg (replay metrics only)",
+    )
+    scenarios.add_argument(
+        "--list", action="store_true", help="list presets and exit"
+    )
+    scenarios.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="also write the full matrix report as JSON",
+    )
 
     route = sub.add_parser("route", help="recommend answerers for a question")
     route.add_argument("--input", type=Path, required=True)
@@ -553,6 +591,55 @@ def _cmd_scale(args) -> int:
     return 0
 
 
+def _cmd_scenarios(args) -> int:
+    import json
+
+    from .forum.scenarios import (
+        ScenarioMatrixRunner,
+        get_scenario,
+        list_scenarios,
+    )
+
+    if args.list:
+        for name in list_scenarios():
+            print(f"{name:16s} {get_scenario(name).description}")
+        return 0
+    names = args.preset or list_scenarios()
+    for name in names:
+        get_scenario(name)  # fail fast on typos, before any model fits
+    runner = ScenarioMatrixRunner(
+        names,
+        seed=args.seed,
+        scale=args.scale,
+        include_serving=not args.no_serving,
+    )
+    result = runner.run()
+    header = (
+        f"{'scenario':16s} {'threads':>7s} {'hit@1':>7s} {'Δhit@1':>8s} "
+        f"{'MRR':>7s} {'p50ms':>8s} {'p99ms':>8s} {'shed':>5s} {'degr':>5s}"
+    )
+    print(header)
+    for name, rep in result["scenarios"].items():
+        latency = rep["latency_ms"]
+        delta = rep["accuracy_delta"].get("hit_rate_at_1")
+        print(
+            f"{name:16s} {rep['n_threads']:7d} "
+            f"{rep['accuracy']['hit_rate_at_1']:7.4f} "
+            f"{('%+8.4f' % delta) if delta is not None else '       -'} "
+            f"{rep['accuracy']['mrr']:7.4f} "
+            f"{latency.get('p50_ms', float('nan')):8.2f} "
+            f"{latency.get('p99_ms', float('nan')):8.2f} "
+            f"{rep['n_rejected']:5d} {rep['n_degradations']:5d}"
+        )
+        if rep["degradation"]:
+            for action, count in sorted(rep["degradation"].items()):
+                print(f"  {action}: {count}")
+    if args.output is not None:
+        args.output.write_text(json.dumps(result, indent=1, sort_keys=True))
+        print(f"matrix report written to {args.output}")
+    return 0
+
+
 def _cmd_route(args) -> int:
     dataset = load_dataset(args.input)
     if args.question_id not in dataset:
@@ -609,6 +696,7 @@ _COMMANDS = {
     "replay": _cmd_replay,
     "serve": _cmd_serve,
     "scale": _cmd_scale,
+    "scenarios": _cmd_scenarios,
 }
 
 

@@ -13,8 +13,20 @@ from .streaming import (
     sample_users,
     stream_forum_chunks,
 )
-from .repair import RepairReport, repair_dataset
-from .traffic import TrafficConfig, TrafficRequest, generate_traffic
+from .repair import (
+    RepairReport,
+    VoteSpamWave,
+    apply_vote_spam,
+    repair_dataset,
+    strip_vote_spam,
+)
+from .traffic import (
+    TrafficConfig,
+    TrafficRequest,
+    derive_rng,
+    generate_traffic,
+    scenario_seed_sequence,
+)
 from .validation import ValidationIssue, ValidationReport, validate_dataset
 from .stats import (
     DatasetSummary,
@@ -49,9 +61,14 @@ __all__ = [
     "validate_dataset",
     "RepairReport",
     "repair_dataset",
+    "VoteSpamWave",
+    "apply_vote_spam",
+    "strip_vote_spam",
     "TrafficConfig",
     "TrafficRequest",
     "generate_traffic",
+    "derive_rng",
+    "scenario_seed_sequence",
     "HOURS_PER_DAY",
     "Post",
     "Thread",

@@ -109,6 +109,20 @@ class ForumConfig:
     # intensity as 1 + amplitude * sin(2 pi t / 24h), matching the
     # diurnal rhythm of real forum traffic.
     diurnal_amplitude: float = 0.0
+    # Month-scale platform popularity ebb/flow (the cross-platform
+    # QA-trends regime): question arrival intensity is additionally
+    # modulated by 1 + amplitude * sin(2 pi t / period), composing
+    # multiplicatively with the diurnal cycle.  0 disables the wave and
+    # keeps the arrival stream bit-identical to older versions.
+    popularity_wave_amplitude: float = 0.0
+    popularity_wave_period_days: float = 14.0
+    # Topic drift: the dominant topic of each question is rotated by
+    # ``int(rate * t / duration * n_topics) % n_topics`` positions at
+    # question time t, so interest in topics migrates over the run
+    # (rate = full rotations of the topic space per run).  Purely a
+    # deterministic relabeling — it consumes no randomness, so rate 0
+    # is bit-identical to older versions.
+    topic_drift_rate: float = 0.0
 
     def __post_init__(self):
         if self.n_users < 10 or self.n_questions < 10:
@@ -121,6 +135,12 @@ class ForumConfig:
             raise ValueError("answer_excitation must be in [0, 1)")
         if not 0.0 <= self.diurnal_amplitude < 1.0:
             raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if not 0.0 <= self.popularity_wave_amplitude < 1.0:
+            raise ValueError("popularity_wave_amplitude must be in [0, 1)")
+        if self.popularity_wave_period_days <= 0:
+            raise ValueError("popularity_wave_period_days must be positive")
+        if self.topic_drift_rate < 0:
+            raise ValueError("topic_drift_rate must be non-negative")
         if self.duration_days <= 0:
             raise ValueError("duration_days must be positive")
 
@@ -232,7 +252,9 @@ class _ForumBuilder:
         question_topics = np.empty((n_q, cfg.n_topics))
         threads = []
         for q in range(n_q):
-            mixture = self._question_mixture(int(askers[q]))
+            mixture = self._question_mixture(
+                int(askers[q]), float(question_times[q])
+            )
             question_topics[q] = mixture
             threads.append(
                 self._make_thread(q, int(askers[q]), float(question_times[q]), mixture)
@@ -248,28 +270,49 @@ class _ForumBuilder:
         )
 
     def _question_arrival_times(self, n_q: int) -> np.ndarray:
-        """Sorted arrival times, uniform or diurnally modulated.
+        """Sorted arrival times, uniform or sinusoidally modulated.
 
-        Diurnal sampling uses rejection against the sinusoidal intensity
-        ``1 + A sin(2 pi t / 24)`` — exact and O(n) in expectation.
+        Modulated sampling uses rejection against the product intensity
+        ``(1 + A_d sin(2 pi t / 24)) * (1 + A_w sin(2 pi t / P))`` —
+        the diurnal cycle times the month-scale popularity wave; exact
+        and O(n) in expectation.  With both amplitudes zero the draws
+        reduce to sorted uniforms, bit-identical to older versions.
         """
         cfg = self.config
-        if cfg.diurnal_amplitude <= 0.0:
+        a_day = cfg.diurnal_amplitude
+        a_wave = cfg.popularity_wave_amplitude
+        if a_day <= 0.0 and a_wave <= 0.0:
             return np.sort(self.rng.uniform(0.0, cfg.duration_hours, size=n_q))
-        amplitude = cfg.diurnal_amplitude
+        period = cfg.popularity_wave_period_days * HOURS_PER_DAY
         times: list[float] = []
-        bound = 1.0 + amplitude
+        bound = (1.0 + a_day) * (1.0 + a_wave)
         while len(times) < n_q:
             t = self.rng.uniform(0.0, cfg.duration_hours)
-            intensity = 1.0 + amplitude * np.sin(2.0 * np.pi * t / 24.0)
+            intensity = 1.0 + a_day * np.sin(2.0 * np.pi * t / 24.0)
+            if a_wave > 0.0:
+                intensity *= 1.0 + a_wave * np.sin(2.0 * np.pi * t / period)
             if self.rng.uniform() * bound <= intensity:
                 times.append(t)
         return np.sort(np.array(times))
 
-    def _question_mixture(self, asker: int) -> np.ndarray:
-        """A topic mixture concentrated on one of the asker's interests."""
+    def _drift_shift(self, t: float) -> int:
+        """Topic-rotation offset at forum time ``t`` (0 without drift)."""
+        cfg = self.config
+        if cfg.topic_drift_rate <= 0.0:
+            return 0
+        progress = t / cfg.duration_hours
+        return int(cfg.topic_drift_rate * progress * cfg.n_topics) % cfg.n_topics
+
+    def _question_mixture(self, asker: int, t: float) -> np.ndarray:
+        """A topic mixture concentrated on one of the asker's interests.
+
+        Under topic drift the dominant topic is rotated by the
+        time-dependent offset — the same asker gravitates to different
+        topics as the run progresses — without consuming randomness.
+        """
         cfg = self.config
         main_topic = self.rng.choice(cfg.n_topics, p=self.interests[asker])
+        main_topic = (int(main_topic) + self._drift_shift(t)) % cfg.n_topics
         mixture = 0.25 * self.rng.dirichlet(np.full(cfg.n_topics, 0.15))
         mixture[main_topic] += 0.75
         return mixture

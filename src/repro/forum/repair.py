@@ -24,7 +24,74 @@ from dataclasses import dataclass, replace
 from .dataset import ForumDataset
 from .models import Post, Thread
 
-__all__ = ["RepairReport", "repair_dataset"]
+__all__ = [
+    "RepairReport",
+    "repair_dataset",
+    "VoteSpamWave",
+    "apply_vote_spam",
+    "strip_vote_spam",
+]
+
+
+@dataclass(frozen=True)
+class VoteSpamWave:
+    """One brigading wave: a flat vote boost on answers in a window.
+
+    Membership is ``start_hour <= answer.timestamp < end_hour``, which
+    depends only on the post itself, so :func:`apply_vote_spam` and
+    :func:`strip_vote_spam` are exact inverses regardless of thread
+    order.  Questions are never boosted — brigades pile onto answers.
+    """
+
+    start_hour: float
+    end_hour: float
+    boost: int
+
+    def __post_init__(self):
+        if not self.end_hour > self.start_hour:
+            raise ValueError("end_hour must be after start_hour")
+        if self.boost < 1:
+            raise ValueError("boost must be >= 1")
+
+    def hits(self, post: Post) -> bool:
+        return (
+            not post.is_question
+            and self.start_hour <= post.timestamp < self.end_hour
+        )
+
+
+def _shift_vote_spam(
+    threads: list[Thread], waves: tuple[VoteSpamWave, ...], sign: int
+) -> list[Thread]:
+    out: list[Thread] = []
+    for thread in threads:
+        answers = []
+        for answer in thread.answers:
+            delta = sum(w.boost for w in waves if w.hits(answer))
+            if delta:
+                answer = replace(answer, votes=answer.votes + sign * delta)
+            answers.append(answer)
+        out.append(Thread(question=thread.question, answers=answers))
+    return out
+
+
+def apply_vote_spam(
+    threads: list[Thread], waves: tuple[VoteSpamWave, ...]
+) -> list[Thread]:
+    """Inflate answer votes inside each wave's window."""
+    return _shift_vote_spam(list(threads), waves, +1)
+
+
+def strip_vote_spam(
+    dataset: ForumDataset, waves: tuple[VoteSpamWave, ...]
+) -> ForumDataset:
+    """Exact inverse of :func:`apply_vote_spam` on a dataset.
+
+    Stripping the same waves that were applied recovers the original
+    vote totals bit-for-bit (the conservation property the brigading
+    scenario tests pin).
+    """
+    return ForumDataset(_shift_vote_spam(list(dataset), waves, -1))
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,49 @@
+"""Scenario matrix: seeded cross-platform forum regimes.
+
+See :mod:`~repro.forum.scenarios.presets` for the registry and
+:mod:`~repro.forum.scenarios.runner` for the full-stack matrix driver.
+"""
+
+from .distortions import (
+    AmbiguousReplies,
+    ColdStartFlood,
+    FlashCrowds,
+    StaffPool,
+    VoteSpam,
+)
+from .presets import (
+    ScenarioData,
+    ScenarioPreset,
+    build_scenario,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+)
+from .runner import (
+    SCENARIO_ENGINES,
+    SCENARIO_ONLINE,
+    SCENARIO_PREDICTOR,
+    ScenarioMatrixRunner,
+    ScenarioReport,
+    scenario_digest,
+)
+
+__all__ = [
+    "AmbiguousReplies",
+    "ColdStartFlood",
+    "FlashCrowds",
+    "StaffPool",
+    "VoteSpam",
+    "ScenarioData",
+    "ScenarioPreset",
+    "build_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "SCENARIO_ENGINES",
+    "SCENARIO_ONLINE",
+    "SCENARIO_PREDICTOR",
+    "ScenarioMatrixRunner",
+    "ScenarioReport",
+    "scenario_digest",
+]

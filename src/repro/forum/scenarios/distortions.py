@@ -1,0 +1,292 @@
+"""Parameterized distortions that turn a synthetic forum into a regime.
+
+Each distortion is a small frozen spec with an ``apply(threads, rng)``
+method: given the raw generated thread list and a seeded generator it
+returns a new thread list plus a metadata dict (staff ids, fresh user
+ids, spam waves, ...) that :func:`~repro.forum.scenarios.presets.build_scenario`
+folds into the :class:`~repro.forum.scenarios.presets.ScenarioData`.
+Distortions never mutate their input posts — every rewrite goes through
+``dataclasses.replace`` — and they preserve the stream-clock invariants
+the resilient serving path checks (no self-answers, answers at or after
+their question, unique post ids), so distorted streams replay through a
+:class:`~repro.core.resilience.StreamGuard` without a single repair and
+the guarded-equals-plain differential tests hold on every preset.
+
+Two stages: ``raw`` distortions run before Sec. III-A preprocessing
+(they reshape structure, so the paper's filters get the final say);
+``final`` distortions run after (vote spam must not change which
+duplicate answer preprocessing keeps, or stripping it would not recover
+the clean dataset bit-for-bit).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..models import Thread
+from ..repair import VoteSpamWave, apply_vote_spam
+
+__all__ = [
+    "StaffPool",
+    "AmbiguousReplies",
+    "FlashCrowds",
+    "ColdStartFlood",
+    "VoteSpam",
+]
+
+
+def _duration(threads: list[Thread]) -> float:
+    return max((t.created_at for t in threads), default=0.0)
+
+
+@dataclass(frozen=True)
+class StaffPool:
+    """Support-desk staffing: all answers come from a small fixed pool.
+
+    Staff are the ``n_staff`` most prolific answerers of the undistorted
+    forum (ties broken by lowest id, so the pool is deterministic given
+    the forum alone); every answer is re-authored to a staff member
+    drawn uniformly, skipping the thread's asker so no self-answer can
+    appear.  Duplicate per-user answers this creates are collapsed by
+    preprocessing exactly as on real forums.
+    """
+
+    stage = "raw"
+
+    n_staff: int = 10
+
+    def __post_init__(self):
+        if self.n_staff < 2:
+            raise ValueError("n_staff must be >= 2 (asker exclusion)")
+
+    def apply(
+        self, threads: list[Thread], rng: np.random.Generator
+    ) -> tuple[list[Thread], dict]:
+        counts: Counter[int] = Counter()
+        for t in threads:
+            for a in t.answers:
+                counts[a.author] += 1
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        staff = tuple(u for u, _ in ranked[: self.n_staff])
+        if len(staff) < 2:
+            return list(threads), {"staff": staff}
+        out: list[Thread] = []
+        for t in threads:
+            pool = [u for u in staff if u != t.asker]
+            answers = [
+                replace(a, author=int(pool[rng.integers(len(pool))]))
+                for a in t.answers
+            ]
+            out.append(Thread(question=t.question, answers=answers))
+        return out, {"staff": staff}
+
+
+@dataclass(frozen=True)
+class AmbiguousReplies:
+    """Ambiguous reply links resolved by temporal proximity.
+
+    On chat-like support platforms an answer often does not reference
+    its question explicitly; link resolution falls back to "the most
+    recent question this could be replying to".  Each answer is, with
+    probability ``rate``, reattached to the *latest* question created
+    strictly before the answer inside ``window_hours`` whose asker is
+    not the answer's author — the temporal-proximity rule.  Reattached
+    answers keep their timestamps, so they always land at or after
+    their new question and the stream stays guard-clean.
+    """
+
+    stage = "raw"
+
+    rate: float = 0.2
+    window_hours: float = 8.0
+
+    def __post_init__(self):
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if self.window_hours <= 0:
+            raise ValueError("window_hours must be positive")
+
+    def apply(
+        self, threads: list[Thread], rng: np.random.Generator
+    ) -> tuple[list[Thread], dict]:
+        order = sorted(threads, key=lambda t: (t.created_at, t.thread_id))
+        q_times = np.array([t.created_at for t in order])
+        by_thread: dict[int, list] = {t.thread_id: [] for t in threads}
+        moved = 0
+        for t in threads:
+            for a in t.answers:
+                target = t.thread_id
+                if rng.uniform() < self.rate:
+                    picked = self._nearest(order, q_times, a)
+                    if picked is not None:
+                        target = picked
+                        if target != t.thread_id:
+                            moved += 1
+                if target == t.thread_id:
+                    by_thread[target].append(a)
+                else:
+                    by_thread[target].append(replace(a, thread_id=target))
+        out = [
+            Thread(question=t.question, answers=by_thread[t.thread_id])
+            for t in threads
+        ]
+        return out, {"reattached_answers": moved}
+
+    def _nearest(self, order, q_times, answer):
+        """Latest admissible question id before the answer, or None."""
+        hi = int(np.searchsorted(q_times, answer.timestamp, side="left"))
+        lo_time = answer.timestamp - self.window_hours
+        for j in range(hi - 1, -1, -1):
+            if q_times[j] < lo_time:
+                break
+            if order[j].asker != answer.author:
+                return order[j].thread_id
+        return None
+
+
+@dataclass(frozen=True)
+class FlashCrowds:
+    """Correlated burst arrivals: threads pile onto a few instants.
+
+    A ``fraction`` of threads is re-timed onto one of ``n_bursts``
+    burst centres with Laplace jitter of scale ``width_hours``.  The
+    *whole thread* shifts — answers move by the same delta as their
+    question — so response delays (the quantity the timing model
+    predicts) are untouched; only the arrival process clumps, which is
+    what overloads admission control downstream.
+    """
+
+    stage = "raw"
+
+    n_bursts: int = 3
+    width_hours: float = 1.5
+    fraction: float = 0.6
+
+    def __post_init__(self):
+        if self.n_bursts < 1:
+            raise ValueError("n_bursts must be >= 1")
+        if self.width_hours <= 0:
+            raise ValueError("width_hours must be positive")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+
+    def apply(
+        self, threads: list[Thread], rng: np.random.Generator
+    ) -> tuple[list[Thread], dict]:
+        duration = _duration(threads)
+        centres = rng.uniform(0.0, duration, size=self.n_bursts)
+        out: list[Thread] = []
+        warped = 0
+        for t in threads:
+            if rng.uniform() >= self.fraction:
+                out.append(t)
+                continue
+            centre = float(centres[rng.integers(self.n_bursts)])
+            target = centre + float(rng.laplace(0.0, self.width_hours))
+            target = float(np.clip(target, 0.0, duration))
+            delta = target - t.created_at
+            out.append(
+                Thread(
+                    question=replace(t.question, timestamp=target),
+                    answers=[
+                        replace(a, timestamp=a.timestamp + delta)
+                        for a in t.answers
+                    ],
+                )
+            )
+            warped += 1
+        return out, {"warped_threads": warped, "burst_centres": tuple(centres)}
+
+
+@dataclass(frozen=True)
+class ColdStartFlood:
+    """New-user arrival spikes: questions in spike windows come from
+    fresh ids the models have never seen.
+
+    ``spikes`` are ``(start, end)`` fractions of the forum duration.
+    Each question created inside a spike is re-authored to a brand-new
+    user id above every id in the base forum, one id per question (a
+    flood of first-time askers).  Fresh ids are assigned in chronological
+    question order, so the mapping is deterministic and the fresh id
+    space is disjoint from the base population by construction — the
+    invariant the property tests pin.
+    """
+
+    stage = "raw"
+
+    spikes: tuple[tuple[float, float], ...] = ((0.3, 0.4), (0.7, 0.8))
+
+    def __post_init__(self):
+        for start, end in self.spikes:
+            if not 0.0 <= start < end <= 1.0:
+                raise ValueError("spike windows must satisfy 0 <= start < end <= 1")
+
+    def apply(
+        self, threads: list[Thread], rng: np.random.Generator
+    ) -> tuple[list[Thread], dict]:
+        duration = _duration(threads)
+        windows = [
+            (start * duration, end * duration) for start, end in self.spikes
+        ]
+        base_users = {t.asker for t in threads} | {
+            a.author for t in threads for a in t.answers
+        }
+        next_user = max(base_users, default=0) + 1
+        replaced: dict[int, int] = {}  # thread_id -> fresh asker
+        for t in sorted(threads, key=lambda t: (t.created_at, t.thread_id)):
+            if any(lo <= t.created_at < hi for lo, hi in windows):
+                replaced[t.thread_id] = next_user
+                next_user += 1
+        out: list[Thread] = []
+        for t in threads:
+            fresh = replaced.get(t.thread_id)
+            if fresh is None:
+                out.append(t)
+                continue
+            out.append(
+                Thread(
+                    question=replace(t.question, author=fresh),
+                    answers=list(t.answers),
+                )
+            )
+        return out, {"fresh_users": tuple(sorted(replaced.values()))}
+
+
+@dataclass(frozen=True)
+class VoteSpam:
+    """Brigading: flat vote boosts on answers inside spam windows.
+
+    ``waves`` are ``(start, end, boost)`` with the window as fractions
+    of the forum duration.  Runs *after* preprocessing (stage
+    ``final``) so the spam cannot change which duplicate answer the
+    Sec. III-A filter keeps — which makes
+    :func:`~repro.forum.repair.strip_vote_spam` with the recorded waves
+    an exact inverse, the conservation property the brigading tests
+    assert.
+    """
+
+    stage = "final"
+
+    waves: tuple[tuple[float, float, int], ...] = ((0.2, 0.35, 6),)
+
+    def __post_init__(self):
+        for start, end, boost in self.waves:
+            if not 0.0 <= start < end:
+                raise ValueError("wave windows must satisfy 0 <= start < end")
+            if boost < 1:
+                raise ValueError("wave boost must be >= 1")
+
+    def apply(
+        self, threads: list[Thread], rng: np.random.Generator
+    ) -> tuple[list[Thread], dict]:
+        horizon = max(
+            (p.timestamp for t in threads for p in t.posts), default=0.0
+        )
+        waves = tuple(
+            VoteSpamWave(start * horizon, end * horizon, boost)
+            for start, end, boost in self.waves
+        )
+        return apply_vote_spam(list(threads), waves), {"spam_waves": waves}

@@ -1,0 +1,300 @@
+"""Scenario presets: named, seeded cross-platform forum regimes.
+
+A :class:`ScenarioPreset` composes a base :class:`~repro.forum.generator.ForumConfig`
+with a pipeline of :mod:`~repro.forum.scenarios.distortions`, a traffic
+shape for the async serving leg, and an optional
+:class:`~repro.core.resilience.FaultPlan` for the resilient replay leg.
+:func:`build_scenario` materializes a preset into a
+:class:`ScenarioData`: a preprocessed, guard-clean
+:class:`~repro.forum.dataset.ForumDataset` plus the metadata the
+distortions produced (staff pool, fresh user ids, spam waves).
+
+Every random stream is derived with
+:func:`~repro.forum.traffic.scenario_seed_sequence` — content-keyed
+``SeedSequence`` spawns — so each preset's forum, distortion and
+traffic draws are independent of every other preset: registering,
+removing or reordering presets can never change what another preset
+generates (the cross-preset stability test pins this).
+
+The registry holds six presets:
+
+``baseline``
+    The undistorted forum — the reference every other scenario's
+    accuracy metrics are reported against.
+``support_desk``
+    A small staff pool answers everything; reply links are ambiguous
+    and resolved by temporal proximity (chat-like support platforms).
+``ebb_and_flow``
+    Month-scale popularity waves plus gradual topic drift (interest
+    migrating across the topic space over the run).
+``flash_crowd``
+    Correlated thread bursts on top of bursty traffic with a tight
+    admission queue — the overload/shedding regime.
+``coldstart_flood``
+    Spikes of first-time askers the models have no history for.
+``brigading``
+    Vote-spam waves inflating answer scores, replayed against a fault
+    plan that also corrupts a slice of the stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from ...core.resilience import FaultPlan
+from ...core.serving.ingest import AdmissionConfig
+from ..dataset import ForumDataset
+from ..generator import ForumConfig, generate_forum
+from ..models import Thread
+from ..repair import VoteSpamWave
+from ..traffic import TrafficConfig, derive_rng, scenario_seed_sequence
+from .distortions import (
+    AmbiguousReplies,
+    ColdStartFlood,
+    FlashCrowds,
+    StaffPool,
+    VoteSpam,
+)
+
+__all__ = [
+    "ScenarioPreset",
+    "ScenarioData",
+    "register_scenario",
+    "get_scenario",
+    "list_scenarios",
+    "build_scenario",
+]
+
+# The common substrate every preset distorts: small enough that the
+# full matrix runs in CI, rich enough (heavy activity tail) that the
+# predictors have signal to rank with.
+_BASE_FORUM = ForumConfig(n_users=300, n_questions=360, activity_tail=1.4)
+
+_BASE_TRAFFIC = TrafficConfig(
+    n_askers=120, n_events=30, duration_s=30.0, hours_per_second=0.005
+)
+
+
+@dataclass(frozen=True)
+class ScenarioPreset:
+    """One named regime: forum shape + distortions + serving load."""
+
+    name: str
+    description: str
+    forum: ForumConfig = _BASE_FORUM
+    distortions: tuple = ()
+    traffic: TrafficConfig = _BASE_TRAFFIC
+    admission: AdmissionConfig = field(default_factory=AdmissionConfig)
+    # Fault plan for the resilient replay leg; None replays clean.
+    fault_plan: FaultPlan | None = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("preset needs a name")
+        # The traffic stream must be keyed by the preset so schedules
+        # are independent across presets.
+        if self.traffic.scenario != self.name:
+            object.__setattr__(
+                self, "traffic", replace(self.traffic, scenario=self.name)
+            )
+
+
+@dataclass(frozen=True)
+class ScenarioData:
+    """A materialized preset: the dataset plus distortion metadata."""
+
+    preset: ScenarioPreset
+    dataset: ForumDataset
+    traffic: TrafficConfig
+    staff: tuple[int, ...] = ()
+    fresh_users: tuple[int, ...] = ()
+    spam_waves: tuple[VoteSpamWave, ...] = ()
+    info: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.preset.name
+
+    def stream(self, chunk_threads: int = 0) -> Iterator[list[Thread]]:
+        """Emit the dataset as chronological chunks of threads.
+
+        Pure slicing of the already-built dataset — no randomness, no
+        recomputation — so chunked and unchunked emission are
+        bit-identical by construction (the property test pins it).
+        ``chunk_threads <= 0`` yields one chunk.
+        """
+        threads = self.dataset.threads
+        if chunk_threads <= 0:
+            chunk_threads = max(1, len(threads))
+        for i in range(0, len(threads), chunk_threads):
+            yield threads[i : i + chunk_threads]
+
+
+_REGISTRY: dict[str, ScenarioPreset] = {}
+
+
+def register_scenario(preset: ScenarioPreset) -> ScenarioPreset:
+    """Add a preset to the registry; duplicate names are an error."""
+    if preset.name in _REGISTRY:
+        raise ValueError(f"scenario {preset.name!r} already registered")
+    _REGISTRY[preset.name] = preset
+    return preset
+
+
+def get_scenario(name: str) -> ScenarioPreset:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {list_scenarios()}"
+        ) from None
+
+
+def list_scenarios() -> list[str]:
+    """Registered preset names, sorted (registration-order independent)."""
+    return sorted(_REGISTRY)
+
+
+def _scale_forum(config: ForumConfig, scale: float) -> ForumConfig:
+    if scale == 1.0:
+        return config
+    return replace(
+        config,
+        n_users=max(10, int(config.n_users * scale)),
+        n_questions=max(10, int(config.n_questions * scale)),
+    )
+
+
+def build_scenario(
+    preset: ScenarioPreset | str, *, seed: int = 0, scale: float = 1.0
+) -> ScenarioData:
+    """Materialize a preset deterministically.
+
+    ``scale`` shrinks/grows the forum (users and questions together)
+    for smoke runs versus full benches.  The pipeline is: generate the
+    base forum on the preset's spawned stream, apply raw-stage
+    distortions, run the paper's Sec. III-A preprocessing, then apply
+    final-stage distortions (vote spam).  The result is clean by
+    construction: unique ids, chronological order, no self-answers, and
+    every answer strictly after its question — so a StreamGuard admits
+    all of it untouched.
+    """
+    if isinstance(preset, str):
+        preset = get_scenario(preset)
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    forum_seed = int(
+        scenario_seed_sequence(seed, f"{preset.name}/forum").generate_state(1)[0]
+    )
+    forum = generate_forum(_scale_forum(preset.forum, scale), seed=forum_seed)
+    threads = list(forum.dataset)
+    rng = derive_rng(seed, f"{preset.name}/distort")
+    info: dict = {}
+    for distortion in preset.distortions:
+        if distortion.stage != "raw":
+            continue
+        threads, extra = distortion.apply(threads, rng)
+        info.update(extra)
+    dataset, _ = ForumDataset(threads).preprocess()
+    for distortion in preset.distortions:
+        if distortion.stage != "final":
+            continue
+        final_threads, extra = distortion.apply(list(dataset), rng)
+        dataset = ForumDataset(final_threads)
+        info.update(extra)
+    return ScenarioData(
+        preset=preset,
+        dataset=dataset,
+        traffic=replace(preset.traffic, seed=seed),
+        staff=tuple(info.get("staff", ())),
+        fresh_users=tuple(info.get("fresh_users", ())),
+        spam_waves=tuple(info.get("spam_waves", ())),
+        info=info,
+    )
+
+
+# -- the built-in matrix ------------------------------------------------------
+
+register_scenario(
+    ScenarioPreset(
+        name="baseline",
+        description="Undistorted forum; the accuracy reference point.",
+    )
+)
+
+register_scenario(
+    ScenarioPreset(
+        name="support_desk",
+        description=(
+            "Small staff pool answers everything; ambiguous reply links "
+            "resolved by temporal proximity."
+        ),
+        distortions=(
+            StaffPool(n_staff=10),
+            AmbiguousReplies(rate=0.2, window_hours=8.0),
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioPreset(
+        name="ebb_and_flow",
+        description=(
+            "Month-scale popularity waves and topic drift: platform "
+            "interest migrates over the run."
+        ),
+        forum=replace(
+            _BASE_FORUM,
+            popularity_wave_amplitude=0.6,
+            popularity_wave_period_days=10.0,
+            topic_drift_rate=1.0,
+        ),
+    )
+)
+
+register_scenario(
+    ScenarioPreset(
+        name="flash_crowd",
+        description=(
+            "Correlated thread bursts plus clumped traffic against a "
+            "tight admission queue — the overload regime."
+        ),
+        distortions=(FlashCrowds(n_bursts=3, width_hours=1.5, fraction=0.6),),
+        traffic=replace(
+            _BASE_TRAFFIC,
+            n_bursts=3,
+            burst_fraction=0.95,
+            burst_width_s=0.02,
+        ),
+        admission=AdmissionConfig(
+            max_pending_events=256, max_pending_queries=4
+        ),
+        fault_plan=FaultPlan(seed=11, out_of_order_rate=0.05),
+    )
+)
+
+register_scenario(
+    ScenarioPreset(
+        name="coldstart_flood",
+        description=(
+            "Spikes of first-time askers with no history for the "
+            "models to lean on."
+        ),
+        distortions=(ColdStartFlood(spikes=((0.3, 0.4), (0.7, 0.8))),),
+    )
+)
+
+register_scenario(
+    ScenarioPreset(
+        name="brigading",
+        description=(
+            "Vote-spam waves inflate answer scores; the stream also "
+            "carries injected corruption."
+        ),
+        distortions=(VoteSpam(waves=((0.2, 0.35, 6), (0.55, 0.7, 9))),),
+        fault_plan=FaultPlan(
+            seed=13, missing_field_rate=0.04, duplicate_rate=0.04
+        ),
+    )
+)

@@ -164,16 +164,22 @@ def _question_mixtures(
     askers: np.ndarray,
     users: UserGroundTruth,
     rng: np.random.Generator,
+    drift_shift: np.ndarray | None = None,
 ) -> np.ndarray:
     """Vectorized :func:`generate_forum` question-topic construction.
 
     Main topic ~ the asker's interests; mixture = 0.75 one-hot main
     topic + 0.25 Dirichlet(0.15) noise, matching ``_question_mixture``.
+    ``drift_shift`` (per-question integer topic rotations, the streamed
+    analogue of ``ForumConfig.topic_drift_rate``) relabels the dominant
+    topic without consuming randomness.
     """
     k = users.n_topics
     main = _row_categorical(
         users.interests[askers].astype(np.float64), rng
     )
+    if drift_shift is not None:
+        main = (main + drift_shift) % k
     mixtures = 0.25 * rng.dirichlet(np.full(k, 0.15), size=askers.shape[0])
     mixtures[np.arange(askers.shape[0]), main] += 0.75
     return mixtures
@@ -214,6 +220,29 @@ def _sample_answerers(
     return authors
 
 
+def _chunk_probabilities(config: ForumConfig, edges: np.ndarray) -> np.ndarray:
+    """Per-chunk question mass under the popularity wave.
+
+    Without a wave every chunk carries equal mass (the exact
+    ``np.full`` array older versions passed to the multinomial, so
+    streams stay bit-identical).  With a wave the mass of chunk
+    ``[a, b)`` is the closed-form integral of ``1 + A sin(2 pi t / P)``
+    over the slice, so month-scale ebb/flow shows up as chunk-level
+    volume modulation (within-chunk arrivals stay uniform — the wave is
+    resolved at chunk granularity on the streamed path).
+    """
+    n_chunks = edges.shape[0] - 1
+    amp = config.popularity_wave_amplitude
+    if amp <= 0.0:
+        return np.full(n_chunks, 1.0 / n_chunks)
+    omega = 2.0 * np.pi / (config.popularity_wave_period_days * 24.0)
+    mass = np.diff(edges) + (amp / omega) * (
+        np.cos(omega * edges[:-1]) - np.cos(omega * edges[1:])
+    )
+    np.maximum(mass, 0.0, out=mass)
+    return mass / mass.sum()
+
+
 def stream_forum_chunks(
     config: ForumConfig,
     *,
@@ -227,16 +256,19 @@ def stream_forum_chunks(
     per-chunk counts from one multinomial over equal time slices and
     sorting uniforms within each slice — distributionally identical to
     sorting all ``n_questions`` arrivals up front, without ever holding
-    them all.
+    them all.  ``popularity_wave_amplitude`` tilts the multinomial's
+    per-chunk mass (see :func:`_chunk_probabilities`) and
+    ``topic_drift_rate`` rotates dominant topics with question time,
+    mirroring the scenario knobs of the object-path generator.
     """
     rng = np.random.default_rng(seed)
     users = sample_users(config, rng)
     duration = config.duration_days * 24.0
     n_chunks = max(1, -(-config.n_questions // chunk_questions))
-    counts = rng.multinomial(
-        config.n_questions, np.full(n_chunks, 1.0 / n_chunks)
-    )
     edges = np.linspace(0.0, duration, n_chunks + 1)
+    counts = rng.multinomial(
+        config.n_questions, _chunk_probabilities(config, edges)
+    )
     next_qid = 0
     k = config.n_topics
     for c in range(n_chunks):
@@ -247,7 +279,12 @@ def stream_forum_chunks(
         created = np.sort(rng.uniform(t0, t1, size=nq))
         askers = np.searchsorted(users.ask_cdf, rng.uniform(size=nq))
         np.clip(askers, 0, users.n_users - 1, out=askers)
-        mixtures = _question_mixtures(askers, users, rng)
+        drift = None
+        if config.topic_drift_rate > 0.0:
+            drift = (
+                config.topic_drift_rate * (created / duration) * k
+            ).astype(np.int64) % k
+        mixtures = _question_mixtures(askers, users, rng, drift)
         q_votes = np.round(rng.lognormal(0.3, 0.9, size=nq)) - 1.0
 
         answered = rng.uniform(size=nq) >= config.unanswered_fraction

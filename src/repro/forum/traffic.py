@@ -24,6 +24,7 @@ stream-clock invariants hold along the schedule.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,7 +32,43 @@ import numpy as np
 from .dataset import ForumDataset
 from .models import Post, Thread
 
-__all__ = ["TrafficConfig", "TrafficRequest", "generate_traffic"]
+__all__ = [
+    "TrafficConfig",
+    "TrafficRequest",
+    "generate_traffic",
+    "scenario_seed_sequence",
+    "derive_rng",
+]
+
+
+def _label_key(label: str) -> int:
+    """A stable 64-bit spawn key for a scenario label.
+
+    sha256-derived, so it depends only on the label string — never on
+    registration order, interpreter hash randomization, or how many
+    other labels exist.
+    """
+    digest = hashlib.sha256(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def scenario_seed_sequence(seed: int, label: str) -> np.random.SeedSequence:
+    """A child :class:`~numpy.random.SeedSequence` for one scenario label.
+
+    The spawn mechanism (``SeedSequence(entropy, spawn_key=...)``) is
+    how numpy derives statistically independent child streams; keying
+    the spawn by a content hash of the label instead of a running index
+    (and instead of the old ``seed + i`` arithmetic) means adding,
+    removing or reordering scenario presets can never perturb another
+    preset's stream — the property the cross-preset stability test
+    pins.
+    """
+    return np.random.SeedSequence(entropy=seed, spawn_key=(_label_key(label),))
+
+
+def derive_rng(seed: int, label: str) -> np.random.Generator:
+    """A seeded generator on the label's independent spawned stream."""
+    return np.random.default_rng(scenario_seed_sequence(seed, label))
 
 
 @dataclass(frozen=True)
@@ -54,6 +91,12 @@ class TrafficConfig:
     # leaves the seeded schedule bit-identical to older versions.
     repeat_fraction: float = 0.0
     seed: int = 0
+    # Scenario label for the RNG stream.  Empty (the default) keeps the
+    # legacy ``default_rng(seed)`` stream bit-identical to older
+    # versions; when set, the schedule draws from the label's spawned
+    # ``SeedSequence`` child so each scenario preset gets its own
+    # independent stream regardless of what other presets exist.
+    scenario: str = ""
 
     def __post_init__(self):
         if self.n_askers < 1:
@@ -110,7 +153,10 @@ def generate_traffic(
     cfg = config or TrafficConfig()
     if len(dataset) == 0:
         raise ValueError("traffic generation needs a non-empty dataset")
-    rng = np.random.default_rng(cfg.seed)
+    if cfg.scenario:
+        rng = derive_rng(cfg.seed, f"traffic/{cfg.scenario}")
+    else:
+        rng = np.random.default_rng(cfg.seed)
 
     users = sorted(
         {t.asker for t in dataset} | {a for t in dataset for a in t.answerers}

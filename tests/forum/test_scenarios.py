@@ -1,0 +1,323 @@
+"""Scenario presets: registry, invariants and seeded-stream properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.forum import ForumConfig, TrafficConfig, generate_traffic
+from repro.forum.dataset import ForumDataset
+from repro.forum.repair import strip_vote_spam
+from repro.forum.scenarios import (
+    ScenarioPreset,
+    build_scenario,
+    get_scenario,
+    list_scenarios,
+)
+from repro.forum.scenarios.distortions import VoteSpam
+from repro.forum.traffic import derive_rng, scenario_seed_sequence
+
+ALL_PRESETS = list_scenarios()
+SCALE = 0.3  # small enough for per-preset parametrized builds
+
+
+def build(name, seed=0, scale=SCALE):
+    return build_scenario(name, seed=seed, scale=scale)
+
+
+class TestRegistry:
+    def test_expected_presets_registered(self):
+        assert ALL_PRESETS == sorted(ALL_PRESETS)
+        for name in (
+            "baseline",
+            "support_desk",
+            "ebb_and_flow",
+            "flash_crowd",
+            "coldstart_flood",
+            "brigading",
+        ):
+            assert name in ALL_PRESETS
+            assert get_scenario(name).name == name
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("does_not_exist")
+
+    def test_traffic_keyed_by_preset_name(self):
+        for name in ALL_PRESETS:
+            assert get_scenario(name).traffic.scenario == name
+
+    def test_preset_needs_name(self):
+        with pytest.raises(ValueError, match="needs a name"):
+            ScenarioPreset(name="", description="x")
+
+
+class TestScenarioInvariants:
+    """Every preset's dataset is clean-admissible by construction."""
+
+    @pytest.mark.parametrize("name", ALL_PRESETS)
+    def test_stream_clock_and_id_invariants(self, name):
+        data = build(name)
+        created = [t.created_at for t in data.dataset]
+        assert created == sorted(created), "thread stream must be monotone"
+        post_ids = [p.post_id for t in data.dataset for p in t.posts]
+        assert len(post_ids) == len(set(post_ids)), "post ids must be unique"
+        thread_ids = [t.thread_id for t in data.dataset]
+        assert len(thread_ids) == len(set(thread_ids))
+        for thread in data.dataset:
+            for answer in thread.answers:
+                assert answer.author != thread.asker, "no self-answers"
+                assert answer.timestamp > thread.created_at
+                assert np.isfinite(answer.timestamp)
+                assert np.isfinite(float(answer.votes))
+
+    @pytest.mark.parametrize("name", ALL_PRESETS)
+    def test_build_deterministic(self, name):
+        first = build(name)
+        second = build(name)
+        assert [t.thread_id for t in first.dataset] == [
+            t.thread_id for t in second.dataset
+        ]
+        assert all(a == b for a, b in zip(first.dataset, second.dataset))
+        assert first.staff == second.staff
+        assert first.fresh_users == second.fresh_users
+        assert first.spam_waves == second.spam_waves
+
+    def test_seed_changes_the_forum(self):
+        assert build("baseline", seed=0).dataset.fingerprint() != build(
+            "baseline", seed=1
+        ).dataset.fingerprint()
+
+    def test_support_desk_staff_pool(self):
+        data = build("support_desk")
+        assert len(data.staff) == 10
+        staff = set(data.staff)
+        for thread in data.dataset:
+            for answer in thread.answers:
+                assert answer.author in staff
+
+    def test_coldstart_ids_disjoint_from_base(self):
+        data = build("coldstart_flood")
+        assert data.fresh_users, "flood must introduce fresh askers"
+        base = build("baseline")  # different spawned stream: compare within
+        fresh = set(data.fresh_users)
+        answerers = {a.author for t in data.dataset for a in t.answers}
+        # Fresh ids only ever ask; they are above every base id and never
+        # overlap the answerer population.
+        assert not fresh & answerers
+        non_fresh = {
+            t.asker for t in data.dataset if t.asker not in fresh
+        } | answerers
+        assert min(fresh, default=0) > max(non_fresh)
+        assert len(base.fresh_users) == 0
+
+    def test_brigading_votes_conserved_under_strip(self):
+        data = build("brigading")
+        assert data.spam_waves
+        clean_preset = ScenarioPreset(
+            name="brigading",  # same spawn labels => same base forum
+            description="no-spam twin",
+            forum=get_scenario("brigading").forum,
+        )
+        unspammed = build_scenario(clean_preset, seed=0, scale=SCALE)
+        stripped = strip_vote_spam(data.dataset, data.spam_waves)
+        want = {p.post_id: p.votes for t in unspammed.dataset for p in t.posts}
+        got = {p.post_id: p.votes for t in stripped for p in t.posts}
+        assert want == got, "strip_vote_spam must invert the spam exactly"
+        # And the spam really moved votes in the first place.
+        spammed = {p.post_id: p.votes for t in data.dataset for p in t.posts}
+        assert spammed != want
+
+    def test_chunked_emission_is_pure_slicing(self):
+        data = build("support_desk")
+        whole = [t for chunk in data.stream() for t in chunk]
+        chunked = [t for chunk in data.stream(chunk_threads=7) for t in chunk]
+        assert whole == data.dataset.threads
+        assert chunked == whole, "chunked emission must be bit-identical"
+
+    def test_scale_shrinks_the_forum(self):
+        small = build("baseline", scale=0.3)
+        large = build("baseline", scale=0.6)
+        assert len(small.dataset) < len(large.dataset)
+        with pytest.raises(ValueError, match="scale"):
+            build("baseline", scale=0.0)
+
+
+class TestSeedDerivation:
+    """SeedSequence-spawned streams: content-keyed, order-independent."""
+
+    def test_label_streams_are_stable_and_distinct(self):
+        a = derive_rng(7, "support_desk/forum").integers(1 << 62)
+        b = derive_rng(7, "support_desk/forum").integers(1 << 62)
+        c = derive_rng(7, "brigading/forum").integers(1 << 62)
+        d = derive_rng(8, "support_desk/forum").integers(1 << 62)
+        assert a == b
+        assert a != c and a != d
+
+    def test_no_seed_arithmetic_collisions(self):
+        # The old seed+i scheme would collide (seed=3, i=1) with
+        # (seed=4, i=0); spawn-keyed derivation cannot.
+        seen = set()
+        for seed in range(4):
+            for name in ALL_PRESETS:
+                state = tuple(
+                    scenario_seed_sequence(seed, f"{name}/forum")
+                    .generate_state(2)
+                    .tolist()
+                )
+                assert state not in seen
+                seen.add(state)
+
+    @pytest.mark.parametrize("name", ALL_PRESETS)
+    def test_cross_preset_stability(self, name):
+        """A preset's stream depends only on (seed, its own labels).
+
+        Building other presets first — or not at all — must not perturb
+        this preset's dataset, which is exactly what the old seed-offset
+        arithmetic in ``forum.traffic`` could not guarantee.
+        """
+        alone = build(name).dataset.fingerprint()
+        for other in ALL_PRESETS:
+            if other != name:
+                build(other, scale=0.3)
+        again = build(name).dataset.fingerprint()
+        assert alone == again
+
+    def test_traffic_scenario_field_switches_stream(self):
+        dataset = build("baseline").dataset
+        legacy = TrafficConfig(n_askers=20, n_events=5, seed=3)
+        labelled = TrafficConfig(
+            n_askers=20, n_events=5, seed=3, scenario="flash_crowd"
+        )
+        legacy_sched = generate_traffic(dataset, legacy)
+        labelled_sched = generate_traffic(dataset, labelled)
+        # Same shape, different draws: the label moves the stream.
+        assert len(legacy_sched) == len(labelled_sched)
+        assert [r.arrival_s for r in legacy_sched] != [
+            r.arrival_s for r in labelled_sched
+        ]
+        # And the legacy stream still matches default_rng(seed) exactly.
+        legacy_again = generate_traffic(dataset, legacy)
+        assert [r.arrival_s for r in legacy_sched] == [
+            r.arrival_s for r in legacy_again
+        ]
+
+
+class TestScenarioProperties:
+    """Property-based checks over seeds and scales (hypothesis)."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(0, 200),
+        name=st.sampled_from(ALL_PRESETS),
+    )
+    def test_invariants_hold_across_seeds(self, seed, name):
+        data = build_scenario(name, seed=seed, scale=0.25)
+        created = [t.created_at for t in data.dataset]
+        assert created == sorted(created)
+        post_ids = [p.post_id for t in data.dataset for p in t.posts]
+        assert len(post_ids) == len(set(post_ids))
+        for thread in data.dataset:
+            for answer in thread.answers:
+                assert answer.author != thread.asker
+                assert answer.timestamp > thread.created_at
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 200), chunk=st.integers(1, 40))
+    def test_chunked_equals_unchunked_for_any_chunk_size(self, seed, chunk):
+        data = build_scenario("flash_crowd", seed=seed, scale=0.25)
+        whole = [t for block in data.stream() for t in block]
+        sliced = [t for block in data.stream(chunk_threads=chunk) for t in block]
+        assert sliced == whole
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_vote_spam_strips_exactly_for_any_seed(self, seed):
+        data = build_scenario("brigading", seed=seed, scale=0.25)
+        spam = next(
+            d
+            for d in data.preset.distortions
+            if isinstance(d, VoteSpam)
+        )
+        assert spam.stage == "final"
+        stripped = strip_vote_spam(data.dataset, data.spam_waves)
+        # Stripping and re-applying the recorded waves round-trips.
+        from repro.forum.repair import apply_vote_spam
+
+        back = ForumDataset(
+            apply_vote_spam(list(stripped), data.spam_waves)
+        )
+        want = {p.post_id: p.votes for t in data.dataset for p in t.posts}
+        got = {p.post_id: p.votes for t in back for p in t.posts}
+        assert want == got
+
+
+class TestMatrixRunner:
+    def test_engine_axis_replays_two_stage(self):
+        from repro.forum.scenarios import (
+            SCENARIO_ENGINES,
+            ScenarioMatrixRunner,
+        )
+
+        runner = ScenarioMatrixRunner(
+            ["baseline"],
+            seed=0,
+            scale=0.25,
+            engine_configs=SCENARIO_ENGINES,
+            include_serving=False,
+        )
+        result = runner.run()
+        assert result["engines"] == ["dense", "two_stage"]
+        report = result["scenarios"]["baseline"]
+        two_stage = report["engines"]["two_stage"]
+        assert two_stage["n_routed"] > 0
+        assert two_stage["digest"]
+        assert set(two_stage["accuracy"]) == set(report["accuracy"])
+
+
+class TestGeneratorScenarioKnobs:
+    """The wave/drift knobs stay bit-identical when disabled."""
+
+    def test_wave_knob_disabled_is_bit_identical(self):
+        from repro.forum import generate_forum
+
+        base = ForumConfig(n_users=60, n_questions=70)
+        knobbed = ForumConfig(
+            n_users=60,
+            n_questions=70,
+            popularity_wave_amplitude=0.0,
+            popularity_wave_period_days=3.0,
+            topic_drift_rate=0.0,
+        )
+        assert (
+            generate_forum(base, seed=5).dataset.fingerprint()
+            == generate_forum(knobbed, seed=5).dataset.fingerprint()
+        )
+
+    def test_wave_and_drift_change_the_forum(self):
+        from repro.forum import generate_forum
+
+        base = ForumConfig(n_users=60, n_questions=70)
+        waved = ForumConfig(
+            n_users=60, n_questions=70, popularity_wave_amplitude=0.7
+        )
+        drifted = ForumConfig(n_users=60, n_questions=70, topic_drift_rate=2.0)
+        fp = generate_forum(base, seed=5).dataset.fingerprint()
+        assert generate_forum(waved, seed=5).dataset.fingerprint() != fp
+        # Drift rotates topics without consuming randomness: arrival
+        # times (the fingerprint) are unchanged, bodies are not.
+        drifted_forum = generate_forum(drifted, seed=5)
+        assert drifted_forum.dataset.fingerprint() == fp
+        base_bodies = [
+            t.question.body for t in generate_forum(base, seed=5).dataset
+        ]
+        drift_bodies = [t.question.body for t in drifted_forum.dataset]
+        assert base_bodies != drift_bodies
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError, match="popularity_wave_amplitude"):
+            ForumConfig(popularity_wave_amplitude=1.5)
+        with pytest.raises(ValueError, match="popularity_wave_period_days"):
+            ForumConfig(popularity_wave_period_days=0.0)
+        with pytest.raises(ValueError, match="topic_drift_rate"):
+            ForumConfig(topic_drift_rate=-0.1)

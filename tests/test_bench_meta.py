@@ -60,6 +60,31 @@ class TestBenchRecords:
         assert len(record) > 1, f"{path.name} has a header but no payload"
 
 
+class TestScenarioRecord:
+    """BENCH_scenarios.json must cover the registered preset matrix."""
+
+    @pytest.fixture()
+    def record(self):
+        path = REPO_ROOT / "BENCH_scenarios.json"
+        assert path.exists(), "BENCH_scenarios.json missing from repo root"
+        return json.loads(path.read_text())
+
+    def test_smoke_section_shape(self, record):
+        assert "smoke" in record, "scenario record lacks a smoke section"
+        smoke = record["smoke"]
+        assert smoke["digest_deterministic"] is True
+        for name, report in smoke["scenarios"].items():
+            assert report["digest"], f"{name} stored without a digest"
+            assert "accuracy" in report and "latency_ms" in report
+
+    def test_matrix_lists_every_registered_preset(self, record):
+        from repro.forum.scenarios import list_scenarios
+
+        assert "matrix" in record, "scenario record lacks the full matrix"
+        assert record["matrix"]["presets"] == sorted(list_scenarios())
+        assert set(record["matrix"]["scenarios"]) == set(list_scenarios())
+
+
 class TestBenchWriters:
     @pytest.mark.parametrize(
         "path", bench_modules(), ids=lambda p: p.name
